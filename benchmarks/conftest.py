@@ -1,0 +1,38 @@
+"""Benchmark fixtures: cached profiles and result archiving.
+
+Every benchmark regenerates one paper artifact (table or figure), times it
+with pytest-benchmark, prints the rows the paper reports, and archives the
+rendered table under ``benchmarks/out/`` so EXPERIMENTS.md can cite it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import ExperimentResult
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    from repro.profiler import profile_workloads
+
+    return profile_workloads()
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Persist a rendered experiment table and echo it to the log."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _archive(result: ExperimentResult) -> ExperimentResult:
+        text = result.render()
+        (OUT_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return result
+
+    return _archive

@@ -1,0 +1,88 @@
+"""Ablation: the SIII-E1 slot-preference rules.
+
+Compares the paper's preference-ordered allocation against a naive
+first-legal-slot allocator on adversarial segment mixes (3-heavy and
+mixed), regenerating the design argument: the slot rules avoid blocking
+slice 3 and keep room for size-3 segments, which saves whole GPUs.
+"""
+
+from repro.core.allocator import SegmentAllocator, _GPUState
+from repro.core.segments import Segment
+from repro.experiments.registry import ExperimentResult
+from repro.gpu.mig import PlacedInstance, legal_starts
+
+
+def seg(size: int, i: int) -> Segment:
+    return Segment(
+        service_id=f"svc{i}",
+        model="resnet-50",
+        instance_size=size,
+        batch_size=8,
+        num_processes=1,
+        throughput=100.0,
+        latency_ms=10.0,
+        sm_activity=0.9,
+    )
+
+
+MIXES = {
+    "3-heavy": [3, 3, 3, 3, 2, 2, 1, 1, 1, 1],
+    "paper-fig2": [7, 4, 3, 3, 2, 2, 2, 1, 1, 1],
+    "threes-plus-ones": [3, 3, 1, 1],  # naive 3@0 blocks slice 3
+    "one-three-many-ones": [3, 1, 1, 1, 1],
+    "ones-tail": [4, 4, 3, 1, 1, 1, 1, 1, 1, 1, 1],
+}
+
+
+def _paper_allocation(sizes: list[int]) -> int:
+    gpus: list[_GPUState] = []
+    queues = SegmentAllocator._new_queues()
+    for i, size in enumerate(sorted(sizes, reverse=True)):
+        SegmentAllocator._enqueue(queues, seg(size, i))
+    SegmentAllocator._allocation(queues, gpus)
+    return sum(1 for g in gpus if not g.is_empty)
+
+
+def _naive_allocation(sizes: list[int]) -> int:
+    """First legal start slot (ascending), first GPU with room."""
+    layouts: list = []
+    for i, size in enumerate(sorted(sizes, reverse=True)):
+        placed = False
+        for layout in layouts:
+            for start in legal_starts(size):
+                if layout.can_add(size, start):
+                    layout.add(PlacedInstance(size, start))
+                    placed = True
+                    break
+            if placed:
+                break
+        if not placed:
+            from repro.gpu.mig import MigLayout
+
+            layout = MigLayout()
+            layout.add(PlacedInstance(size, legal_starts(size)[0]))
+            layouts.append(layout)
+    return len(layouts)
+
+
+def _sweep() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ablation-slots",
+        title="Slot-preference rules vs naive first-legal-slot placement",
+        columns=("mix", "paper rules (GPUs)", "naive (GPUs)"),
+    )
+    for name, sizes in MIXES.items():
+        result.add(name, _paper_allocation(sizes), _naive_allocation(sizes))
+    result.notes.append(
+        "SIII-E1: 3s prefer slot 4, 2s avoid the upper half, 1s fill 0-3 first"
+    )
+    return result
+
+
+def test_slot_rules_ablation(benchmark, archive):
+    result = benchmark(_sweep)
+    archive(result)
+    for name, paper, naive in result.rows:
+        assert paper <= naive, name
+    # at least one adversarial mix shows a strict win
+    assert any(paper < naive for _, paper, naive in result.rows)

@@ -1,0 +1,47 @@
+"""Ablation: the Allocation-Optimization GPC threshold (SIII-E2).
+
+The paper sets the drain threshold heuristically to 4.  This bench sweeps
+it over 0..7 on the fragmentation-prone S3/S5 mixes and regenerates the
+evidence: 4 minimizes GPU count without churning healthy GPUs.
+"""
+
+from repro.core.parvagpu import ParvaGPU
+from repro.experiments.registry import ExperimentResult
+from repro.metrics import external_fragmentation
+from repro.scenarios import scenario_services
+
+THRESHOLDS = (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+def _sweep(profiles) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ablation-threshold",
+        title="Allocation Optimization drain threshold sweep (GPUs / frag %)",
+        columns=("threshold", "S3 gpus", "S3 frag", "S5 gpus", "S5 frag"),
+    )
+    for threshold in THRESHOLDS:
+        row: list[object] = [threshold]
+        for scenario in ("S3", "S5"):
+            scheduler = ParvaGPU(profiles, threshold=threshold)
+            placement = scheduler.schedule(scenario_services(scenario))
+            row.append(placement.num_gpus)
+            row.append(100.0 * external_fragmentation(placement))
+        result.add(*row)
+    result.notes.append("paper SIII-E2: threshold heuristically set to 4")
+    return result
+
+
+def test_threshold_ablation(benchmark, archive, profiles):
+    result = benchmark.pedantic(lambda: _sweep(profiles), rounds=1, iterations=1)
+    archive(result)
+
+    rows = {r[0]: r for r in result.rows}
+    # the paper's threshold of 4 is on the Pareto frontier: no other
+    # threshold yields strictly fewer GPUs in either scenario
+    for t, row in rows.items():
+        assert rows[4][1] <= row[1]  # S3 gpus
+        assert rows[4][3] <= row[3]  # S5 gpus
+    # and disabling the optimization entirely (threshold 0) never fragments
+    # less than the paper's setting
+    assert rows[4][2] <= rows[0][2] + 1e-9
+    assert rows[4][4] <= rows[0][4] + 1e-9

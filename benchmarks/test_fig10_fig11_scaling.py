@@ -1,0 +1,37 @@
+"""Figures 10/11 — the predictor scalability study (S5 x 1..10)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10(benchmark, archive, profiles):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig10"), rounds=1, iterations=1
+    )
+    archive(result)
+
+    parva = result.column("parvagpu")
+    gpulet = result.column("gpulet")
+    mig = result.column("mig-serving")
+    single = result.column("parvagpu-single")
+
+    # paper: 45.2% / 30% / 7.4% average savings
+    assert sum(parva) < 0.70 * sum(gpulet)
+    assert sum(parva) < 0.85 * sum(mig)
+    assert sum(parva) <= sum(single)
+    # growth stays linear-ish in the factor for ParvaGPU
+    assert parva[-1] <= 11 * parva[0]
+
+
+def test_fig11(benchmark, archive, profiles):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11"), rounds=1, iterations=1
+    )
+    archive(result)
+
+    parva = result.column("parvagpu")
+    mig = result.column("mig-serving")
+    # MIG-serving's delay explodes with service count (paper: -99.9% for
+    # ParvaGPU at scale) — at x10 the gap exceeds 1.5 orders of magnitude.
+    assert mig[-1] - parva[-1] > 1.5
+    # and the gap widens monotonically-ish with scale
+    assert (mig[-1] - parva[-1]) > (mig[0] - parva[0])

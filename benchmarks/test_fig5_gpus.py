@@ -1,0 +1,33 @@
+"""Figure 5 — total GPU counts per framework across S1-S6."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig5(benchmark, archive, profiles):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5"), rounds=1, iterations=1
+    )
+    archive(result)
+
+    cols = result.columns
+    parva = result.column("parvagpu")
+    gpulet = result.column("gpulet")
+    single = result.column("parvagpu-single")
+    by_scenario = {r[0]: r for r in result.rows}
+
+    # ParvaGPU wins or ties everywhere.
+    for row in result.rows:
+        rivals = [v for v in row[1:] if v is not None]
+        assert row[cols.index("parvagpu")] == min(rivals)
+
+    # Substantial aggregate savings vs gpulet (paper: 46.5%).
+    assert sum(parva) < 0.75 * sum(gpulet)
+
+    # MPS ablation: ties at small scale, wins at S4-S6 (paper: 12.5/7.1/11.1%).
+    assert sum(
+        s - p for s, p in zip(single[3:], parva[3:])
+    ) >= 1
+
+    # iGniter cannot execute the high-rate scenarios.
+    assert by_scenario["S5"][cols.index("igniter")] is None
+    assert by_scenario["S6"][cols.index("igniter")] is None

@@ -1,0 +1,25 @@
+"""Figure 7 — external fragmentation per framework across S1-S6."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7(benchmark, archive, profiles):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7"), rounds=1, iterations=1
+    )
+    archive(result)
+
+    cols = result.columns
+    parva = result.column("parvagpu")
+    igniter = [v for v in result.column("igniter") if v is not None]
+
+    # the headline: ParvaGPU eliminates external fragmentation everywhere
+    assert all(v < 0.5 for v in parva)
+    # iGniter, lacking any mechanism, fragments heavily somewhere
+    assert max(igniter) > 10.0
+    # gpulet avoids fragmentation by construction (second partition takes all)
+    gpulet = [v for v in result.column("gpulet") if v is not None]
+    assert sum(gpulet) / len(gpulet) < 10.0
+    # the unoptimized ablation never beats full ParvaGPU
+    unopt = result.column("parvagpu-unoptimized")
+    assert all(u >= p - 1e-9 for u, p in zip(unopt, parva))

@@ -1,0 +1,21 @@
+"""Figure 8 — SLO compliance per framework across S1-S6 (discrete-event sim)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8(benchmark, archive, profiles):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", duration_s=1.5), rounds=1, iterations=1
+    )
+    archive(result)
+
+    cols = result.columns
+    # every MIG-based framework serves without violations
+    for fw in ("mig-serving", "parvagpu-single", "parvagpu"):
+        vals = [v for v in result.column(fw) if v is not None]
+        assert all(v > 99.0 for v in vals), fw
+    # gpulet is the only violator (paper: 3.5% violations in S2)
+    gpulet = result.column("gpulet")
+    s2 = next(r for r in result.rows if r[0] == "S2")
+    assert s2[cols.index("gpulet")] < 99.5
+    assert min(v for v in gpulet if v is not None) > 80.0  # degraded, not dead

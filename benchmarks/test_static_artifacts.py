@@ -1,0 +1,41 @@
+"""Benches for the paper's static artifacts: Table I, Figure 1, Table IV,
+and the Figure 3/4 profiling surfaces."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, archive):
+    result = benchmark(lambda: run_experiment("table1"))
+    archive(result)
+    assert len(result.rows) == 6
+
+
+def test_fig1(benchmark, archive):
+    result = benchmark(lambda: run_experiment("fig1"))
+    archive(result)
+    assert len(result.rows) == 19
+
+
+def test_table4(benchmark, archive):
+    result = benchmark(lambda: run_experiment("table4"))
+    archive(result)
+    assert len(result.rows) == 12
+
+
+def test_fig3(benchmark, archive, profiles):
+    result = benchmark(lambda: run_experiment("fig3"))
+    archive(result)
+    # paper shape: on a size-4 instance at batch 8, 2 processes nearly
+    # double throughput over 1 (1695 vs 786 in the paper)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    b8 = result.columns.index("b8")
+    assert rows[(2, 4)][b8] > 1.6 * rows[(1, 4)][b8]
+
+
+def test_fig4(benchmark, archive, profiles):
+    result = benchmark(lambda: run_experiment("fig4"))
+    archive(result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    b4 = result.columns.index("b4")
+    # paper shape: latency rises ~2.45x with 3 procs on the size-1 instance
+    assert rows[(3, 1)][b4] > 2.0 * rows[(1, 1)][b4]

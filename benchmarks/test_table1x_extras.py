@@ -1,0 +1,20 @@
+"""Beyond-the-paper bench: all seven Table-I frameworks, measured."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1x(benchmark, archive, profiles):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1x"), rounds=1, iterations=1
+    )
+    archive(result)
+
+    rows = {r[0]: r for r in result.rows}
+    # every framework produced a schedule for S1
+    assert all(r[1] is not None for r in result.rows)
+    # ParvaGPU has the lowest slack among multi-GPU-capable frameworks
+    multi = ("gpulet", "igniter", "paris-elsa", "mig-serving", "parvagpu-single")
+    for name in multi:
+        assert rows["parvagpu"][2] <= rows[name][2] + 1e-9, name
+    # GSLICE's self-tuning also controls slack — the Table-I "yes" cell
+    assert rows["gslice"][2] < rows["gpulet"][2]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: schedule two inference services with ParvaGPU.
+
+Covers the full public-API loop of Fig. 2: profile the workloads once,
+hand the Segment Configurator/Allocator your services + SLOs, inspect the
+deployment map, and verify serving quality in the simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ParvaGPU,
+    Service,
+    external_fragmentation,
+    internal_slack,
+    profile_workloads,
+    simulate_placement,
+)
+
+
+def main() -> None:
+    # 1. Profile once (SIII-C): every (instance, batch, procs) point.
+    profiles = profile_workloads(["resnet-50", "bert-large"])
+
+    # 2. Declare services: model + SLO latency + request rate.
+    services = [
+        Service("vision-api", "resnet-50", slo_latency_ms=200, request_rate=800),
+        Service("nlp-api", "bert-large", slo_latency_ms=2000, request_rate=120),
+    ]
+
+    # 3. Schedule: Optimal Triplet Decision -> Demand Matching ->
+    #    Segment Relocation -> Allocation Optimization.
+    scheduler = ParvaGPU(profiles)
+    placement = scheduler.schedule(services)
+
+    print(f"GPUs used:              {placement.num_gpus}")
+    print(f"scheduling delay:       {placement.scheduling_delay_ms:.2f} ms")
+    print(f"internal slack:         {100 * internal_slack(placement):.1f}%")
+    print(f"external fragmentation: {100 * external_fragmentation(placement):.1f}%")
+    print()
+    for svc in services:
+        tri = {g: e.triplet for g, e in sorted(svc.opt_tri_array.items())}
+        print(f"{svc.id}: optimal triplets (size -> (size,batch,procs)) = {tri}")
+        print(
+            f"  plan: {svc.num_opt_seg} x optimal {svc.opt_seg.describe()}"
+            + (f" + last {svc.last_seg.describe()}" if svc.last_seg else "")
+        )
+    print()
+    for plan in placement.gpus:
+        layout = ", ".join(
+            f"{s.service_id}@slot{s.start} ({s.gpcs:g} GPC, b{s.batch_size}, "
+            f"p{s.num_processes})"
+            for s in plan.segments
+        )
+        print(f"GPU {plan.gpu_id}: {layout}")
+
+    # 4. Verify in the serving simulator: no SLO violations expected.
+    report = simulate_placement(placement, services, duration_s=2.0)
+    print(f"\nsimulated SLO compliance: {100 * report.overall_compliance:.2f}%")
+    for sid, compliance, mean_lat, rate in report.summary_rows():
+        print(f"  {sid:<12} {compliance:6.2f}%  mean {mean_lat:7.1f} ms  {rate:6.0f} req/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed evaluation environment has setuptools but no ``wheel``
+package, so PEP-660 editable installs fail; this file lets
+``pip install -e . --no-build-isolation`` (or ``--no-use-pep517``) fall
+back to ``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""ParvaGPU (SC 2024) reproduction.
+
+Efficient spatial GPU sharing for large-scale DNN inference: combined
+MIG + MPS scheduling via the Segment Configurator / Segment Allocator,
+every baseline it was evaluated against, and a simulated multi-A100
+substrate with a discrete-event serving simulator.
+
+Quickstart::
+
+    from repro import ParvaGPU, Service, profile_workloads
+
+    profiles = profile_workloads()
+    services = [
+        Service("vision", "resnet-50", slo_latency_ms=200, request_rate=800),
+        Service("nlp", "bert-large", slo_latency_ms=2000, request_rate=120),
+    ]
+    placement = ParvaGPU(profiles).schedule(services)
+    print(placement.num_gpus, "GPUs")
+"""
+
+from repro.core import (
+    DeploymentManager,
+    ParvaGPU,
+    Placement,
+    Prediction,
+    Predictor,
+    Segment,
+    SegmentAllocator,
+    SegmentConfigurator,
+    Service,
+)
+from repro.baselines import (
+    Gpulet,
+    IGniter,
+    InfeasibleScheduleError,
+    MigServing,
+    all_frameworks,
+    make_framework,
+)
+from repro.gpu import GPU, Cluster
+from repro.metrics import external_fragmentation, internal_slack
+from repro.profiler import ProfileTable, Profiler, profile_workloads
+from repro.scenarios import get_scenario, scaled_scenario, scenario_services
+from repro.sim import simulate_placement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeploymentManager",
+    "ParvaGPU",
+    "Placement",
+    "Prediction",
+    "Predictor",
+    "Segment",
+    "SegmentAllocator",
+    "SegmentConfigurator",
+    "Service",
+    "Gpulet",
+    "IGniter",
+    "InfeasibleScheduleError",
+    "MigServing",
+    "all_frameworks",
+    "make_framework",
+    "GPU",
+    "Cluster",
+    "external_fragmentation",
+    "internal_slack",
+    "ProfileTable",
+    "Profiler",
+    "profile_workloads",
+    "get_scenario",
+    "scaled_scenario",
+    "scenario_services",
+    "simulate_placement",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Statistical analysis helpers for multi-seed experiment replication."""
+
+from repro.analysis.stats import (
+    SeriesStats,
+    bootstrap_ci,
+    replicate_compliance,
+    summarize,
+)
+
+__all__ = ["SeriesStats", "bootstrap_ci", "replicate_compliance", "summarize"]

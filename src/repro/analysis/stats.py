@@ -1,0 +1,86 @@
+"""Multi-seed replication statistics.
+
+Single simulation runs carry seed-dependent noise (Poisson arrivals,
+batch-boundary effects).  Publication-grade claims — "gpulet violates its
+SLO in S2", "ParvaGPU's slack is below X%" — should hold across seeds;
+these helpers replicate a sim-backed measurement over seeds and report
+mean, spread, and a bootstrap confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one replicated measurement."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_low: float  #: bootstrap CI lower bound on the mean
+    ci_high: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.mean:.3f} ± {self.std:.3f} "
+            f"[{self.ci_low:.3f}, {self.ci_high:.3f}] (n={self.n})"
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval on the mean."""
+    if not values:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    arr = np.asarray(values, dtype=np.float64)
+    if len(arr) == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(arr), size=(resamples, len(arr)))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> SeriesStats:
+    """Full summary of a replicated series."""
+    if not values:
+        raise ValueError("need at least one value")
+    arr = np.asarray(values, dtype=np.float64)
+    lo, hi = bootstrap_ci(values, confidence=confidence)
+    return SeriesStats(
+        n=len(arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        ci_low=lo,
+        ci_high=hi,
+    )
+
+
+def replicate_compliance(
+    run: Callable[[int], float], seeds: Sequence[int] = tuple(range(5))
+) -> SeriesStats:
+    """Replicate a ``seed -> compliance`` measurement across seeds.
+
+    ``run`` typically wraps :func:`repro.sim.simulate_placement`; see
+    ``tests/analysis/test_stats.py`` for the canonical usage.
+    """
+    return summarize([run(seed) for seed in seeds])

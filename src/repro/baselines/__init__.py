@@ -1,0 +1,38 @@
+"""Every comparison framework of the evaluation, reimplemented.
+
+- :mod:`repro.baselines.base`        -- the common scheduler interface and
+  the Table-I capability metadata.
+- :mod:`repro.baselines.gpulet`      -- gpulet (USENIX ATC'22): MPS pairs.
+- :mod:`repro.baselines.igniter`     -- iGniter (TPDS'22): interference-
+  padded MPS partitions, one per service.
+- :mod:`repro.baselines.mig_serving` -- MIG-serving (fast algorithm):
+  cutting-stock greedy over whole-GPU MIG configurations.
+- :mod:`repro.baselines.variants`    -- ParvaGPU-single / -unoptimized.
+"""
+
+from repro.baselines.base import (
+    Capabilities,
+    Framework,
+    InfeasibleScheduleError,
+    TABLE_I,
+)
+from repro.baselines.gpulet import Gpulet
+from repro.baselines.gslice import GSlice
+from repro.baselines.igniter import IGniter
+from repro.baselines.mig_serving import MigServing
+from repro.baselines.paris_elsa import ParisElsa
+from repro.baselines.variants import make_framework, all_frameworks
+
+__all__ = [
+    "Capabilities",
+    "Framework",
+    "InfeasibleScheduleError",
+    "TABLE_I",
+    "Gpulet",
+    "GSlice",
+    "ParisElsa",
+    "IGniter",
+    "MigServing",
+    "make_framework",
+    "all_frameworks",
+]

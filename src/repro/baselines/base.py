@@ -1,0 +1,85 @@
+"""Common scheduler interface + the Table-I capability matrix.
+
+Every framework (ParvaGPU included) is a ``schedule(services) ->
+Placement`` callable; the experiment harnesses treat them uniformly and
+time the call for the scheduling-delay figures.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.placement import Placement
+from repro.core.service import Service
+from repro.profiler.table import ProfileTable
+
+
+class InfeasibleScheduleError(RuntimeError):
+    """The framework cannot produce a valid schedule for this scenario.
+
+    iGniter raises this for S5/S6-class request rates, matching the paper's
+    "unable to manage high request rates, leading to its failure to
+    execute in S5 and S6".
+    """
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """One row of Table I."""
+
+    name: str
+    mps_support: bool
+    mig_support: bool
+    internal_slack_prevention: bool
+    external_fragmentation_prevention: bool | None  #: None renders as N/A
+    spatial_scheduling: bool | int | None  #: gpulet's "2" fits here
+    high_request_rate_support: bool
+    scheduling_overhead: str  #: "Low" / "Medium" / "Very high" / "N/A"
+
+
+#: Table I of the paper, reproduced as data.
+TABLE_I: tuple[Capabilities, ...] = (
+    Capabilities("GSLICE", True, False, True, False, True, False, "Low"),
+    Capabilities("gpulet", True, False, False, None, 2, True, "Medium"),
+    Capabilities("iGniter", True, False, False, False, True, False, "Low"),
+    Capabilities("PARIS and ELSA", False, True, False, False, None, False, "N/A"),
+    Capabilities("MIG-serving", False, True, False, True, True, True, "Very high"),
+    Capabilities("ParvaGPU", True, True, True, True, True, True, "Low"),
+)
+
+
+class Framework(abc.ABC):
+    """A spatial GPU-sharing scheduler under evaluation."""
+
+    def __init__(self, profiles: Mapping[str, ProfileTable]) -> None:
+        self.profiles = profiles
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str: ...
+
+    @abc.abstractmethod
+    def _schedule(self, services: Sequence[Service]) -> Placement:
+        """Produce a placement; raise InfeasibleScheduleError if unable."""
+
+    def schedule(self, services: Sequence[Service]) -> Placement:
+        """Timed, validated scheduling entry point."""
+        t0 = time.perf_counter()
+        placement = self._schedule(services)
+        placement.scheduling_delay_ms = (time.perf_counter() - t0) * 1e3
+        placement.framework = self.name
+        if not placement.rates_assigned:
+            placement.assign_rates({s.id: s.request_rate for s in services})
+        placement.validate()
+        return placement
+
+    def _table(self, service: Service) -> ProfileTable:
+        try:
+            return self.profiles[service.model]
+        except KeyError:
+            raise InfeasibleScheduleError(
+                f"{self.name}: model {service.model!r} was never profiled"
+            ) from None

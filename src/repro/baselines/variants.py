@@ -1,0 +1,76 @@
+"""ParvaGPU ablation variants and the framework factory.
+
+- ``parvagpu-single``      — MPS disabled (one process per segment); used
+  in Figs. 5/6/8/9/10/11 to isolate MPS's contribution.
+- ``parvagpu-unoptimized`` — Allocation Optimization disabled; used in
+  Fig. 7 to isolate the optimization's contribution.
+
+``make_framework`` gives the experiment harnesses one uniform way to
+instantiate any scheduler by name.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+from repro.baselines.gpulet import Gpulet
+from repro.baselines.gslice import GSlice
+from repro.baselines.igniter import IGniter
+from repro.baselines.mig_serving import MigServing
+from repro.baselines.paris_elsa import ParisElsa
+from repro.core.parvagpu import ParvaGPU
+from repro.core.placement import Placement
+from repro.core.service import Service
+from repro.profiler.table import ProfileTable
+
+
+class Scheduler(Protocol):  # pragma: no cover - typing helper
+    @property
+    def name(self) -> str: ...
+
+    def schedule(self, services: Sequence[Service]) -> Placement: ...
+
+
+#: Evaluation order used by every per-scenario figure.
+FRAMEWORK_NAMES: tuple[str, ...] = (
+    "gpulet",
+    "igniter",
+    "mig-serving",
+    "parvagpu-single",
+    "parvagpu",
+)
+
+
+def make_framework(
+    name: str, profiles: Mapping[str, ProfileTable]
+) -> Scheduler:
+    """Instantiate a scheduler by its evaluation name."""
+    key = name.strip().lower()
+    if key == "gpulet":
+        return Gpulet(profiles)
+    if key == "gslice":
+        return GSlice(profiles)
+    if key == "paris-elsa":
+        return ParisElsa(profiles)
+    if key == "igniter":
+        return IGniter(profiles)
+    if key == "mig-serving":
+        return MigServing(profiles)
+    if key == "parvagpu":
+        return ParvaGPU(profiles)
+    if key == "parvagpu-single":
+        return ParvaGPU(profiles, use_mps=False)
+    if key == "parvagpu-unoptimized":
+        return ParvaGPU(profiles, optimize=False)
+    raise KeyError(
+        f"unknown framework {name!r}; known: "
+        f"{', '.join(FRAMEWORK_NAMES + ('parvagpu-unoptimized', 'gslice', 'paris-elsa'))}"
+    )
+
+
+def all_frameworks(
+    profiles: Mapping[str, ProfileTable],
+    names: Sequence[str] = FRAMEWORK_NAMES,
+) -> dict[str, Scheduler]:
+    """Instantiate the standard comparison set."""
+    return {n: make_framework(n, profiles) for n in names}

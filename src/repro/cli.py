@@ -1,0 +1,145 @@
+"""``parvagpu`` command-line interface.
+
+Subcommands:
+
+- ``parvagpu schedule --scenario S2 [--framework parvagpu]`` — schedule a
+  Table-IV scenario and print the deployment map + headline metrics.
+- ``parvagpu experiment fig5 [fig6 ...]`` — regenerate paper tables/figures.
+- ``parvagpu profile resnet-50`` — print a workload's profile table.
+- ``parvagpu simulate --scenario S2 --framework gpulet`` — run the
+  discrete-event simulator and report SLO compliance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import InfeasibleScheduleError, make_framework
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.metrics import external_fragmentation, internal_slack
+from repro.profiler import profile_workloads
+from repro.scenarios import scenario_services
+from repro.sim import simulate_placement
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    profiles = profile_workloads()
+    services = scenario_services(args.scenario)
+    fw = make_framework(args.framework, profiles)
+    try:
+        placement = fw.schedule(services)
+    except InfeasibleScheduleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.framework} on {args.scenario}: {placement.num_gpus} GPUs, "
+        f"delay {placement.scheduling_delay_ms:.2f} ms, "
+        f"internal slack {100 * internal_slack(placement):.1f}%, "
+        f"external fragmentation {100 * external_fragmentation(placement):.1f}%"
+    )
+    for plan in placement.gpus:
+        parts = ", ".join(
+            f"{s.service_id}"
+            f"[{s.gpcs:g}g{'@' + str(s.start) if s.start is not None else ''}"
+            f" b{s.batch_size} p{s.num_processes}]"
+            for s in plan.segments
+        )
+        print(f"  GPU {plan.gpu_id}: {parts}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.charts import render_bar_chart, render_series
+
+    for experiment_id in args.ids:
+        result = run_experiment(experiment_id)
+        if args.chart:
+            render = (
+                render_series
+                if experiment_id in ("fig10", "fig11")
+                else render_bar_chart
+            )
+            print(render(result))
+        else:
+            print(result.render())
+        print()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    table = profile_workloads([args.model])[args.model]
+    print(f"{args.model}: {len(table)} operating points")
+    print(f"{'size':>4} {'batch':>5} {'procs':>5} {'lat ms':>8} {'req/s':>8} {'mem GB':>7}")
+    for e in table:
+        print(
+            f"{e.instance_size:>4} {e.batch_size:>5} {e.num_processes:>5} "
+            f"{e.latency_ms:>8.1f} {e.throughput:>8.0f} {e.memory_gb:>7.1f}"
+        )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profiles = profile_workloads()
+    services = scenario_services(args.scenario)
+    fw = make_framework(args.framework, profiles)
+    try:
+        placement = fw.schedule(services)
+    except InfeasibleScheduleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 1
+    report = simulate_placement(
+        placement,
+        services,
+        duration_s=args.duration,
+        seed=args.seed,
+        arrivals=args.arrivals,
+    )
+    print(
+        f"{args.framework} on {args.scenario}: "
+        f"SLO compliance {100 * report.overall_compliance:.2f}% "
+        f"({report.events_processed} events)"
+    )
+    for sid, compliance, mean_lat, rate in report.summary_rows():
+        print(f"  {sid:<16} {compliance:6.2f}%  {mean_lat:8.1f} ms  {rate:8.0f} req/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="parvagpu", description="ParvaGPU reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="schedule a Table-IV scenario")
+    p.add_argument("--scenario", default="S2")
+    p.add_argument("--framework", default="parvagpu")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("experiment", help="regenerate paper tables/figures")
+    p.add_argument("ids", nargs="*", default=list(EXPERIMENTS))
+    p.add_argument("--chart", action="store_true",
+                   help="render as terminal bars/series instead of a table")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("profile", help="print a workload's profile table")
+    p.add_argument("model")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("simulate", help="simulate serving a scenario")
+    p.add_argument("--scenario", default="S2")
+    p.add_argument("--framework", default="parvagpu")
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--arrivals", choices=("uniform", "poisson"), default="uniform")
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

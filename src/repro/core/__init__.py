@@ -1,0 +1,40 @@
+"""ParvaGPU's core: the paper's contribution.
+
+- :mod:`repro.core.service`      -- the Service object (Table II).
+- :mod:`repro.core.segments`     -- GPU segments (MPS-enabled MIG instances).
+- :mod:`repro.core.configurator` -- Algorithm 1: Optimal Triplet Decision +
+  Demand Matching.
+- :mod:`repro.core.allocator`    -- Algorithm 2: Segment Relocation +
+  Allocation Optimization.
+- :mod:`repro.core.placement`    -- the deployment map produced by the
+  allocator, shared with every baseline.
+- :mod:`repro.core.deployment`   -- mapping a deployment map onto a
+  :class:`~repro.gpu.cluster.Cluster`, plus the SIII-F SLO-update path.
+- :mod:`repro.core.parvagpu`     -- the end-to-end scheduler facade.
+- :mod:`repro.core.predictor`    -- the SIV-D predictor (no physical GPUs).
+"""
+
+from repro.core.service import Service, InfeasibleServiceError
+from repro.core.segments import Segment
+from repro.core.placement import GPUPlan, Placement, PlacedSegment
+from repro.core.configurator import SegmentConfigurator
+from repro.core.allocator import SegmentAllocator, OPTIMIZATION_GPC_THRESHOLD
+from repro.core.parvagpu import ParvaGPU
+from repro.core.deployment import DeploymentManager
+from repro.core.predictor import Prediction, Predictor
+
+__all__ = [
+    "Service",
+    "InfeasibleServiceError",
+    "Segment",
+    "GPUPlan",
+    "Placement",
+    "PlacedSegment",
+    "SegmentConfigurator",
+    "SegmentAllocator",
+    "OPTIMIZATION_GPC_THRESHOLD",
+    "ParvaGPU",
+    "DeploymentManager",
+    "Prediction",
+    "Predictor",
+]

@@ -1,0 +1,311 @@
+"""Algorithm 2 — the GPU Segment Allocator.
+
+Two stages:
+
+1. **Segment Relocation** (``SEGMENTRELOCATION``): every service's optimal
+   segments (x ``num_opt_seg``) and last segment are enqueued into
+   per-size queues; ``ALLOCATION`` then drains the queues largest-size
+   first, placing each segment on the first GPU with a feasible slot —
+   first-fit-decreasing, the classic heuristic for irregular packing.
+
+   Slot preferences implement SIII-E1 verbatim:
+
+   * sizes 7 and 4 only fit slot 0;
+   * size 3 prefers slot 4 (slot 0 would block slice 3, wasting a GPC);
+   * size 2 prefers slots 0/2, avoiding 4/5 which size-3 segments need;
+   * size 1 fills slots 0-3 before 4-6 for the same reason.
+
+2. **Allocation Optimization** (``ALLOCATIONOPTIMIZATION``): walking GPUs
+   from the back, any GPU with at most ``threshold`` (= 4, the paper's
+   heuristic) allocated GPCs is drained; the freed throughput is re-covered
+   with size-1/2 segments taken from each service's optimal-triplet array
+   and repacked into the holes of front GPUs.  Surplus capacity from one
+   GPU's split is credited against the next (the ``freed_rate`` array), so
+   the split emits the fewest small segments possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.placement import GPUPlan, PlacedSegment, Placement
+from repro.core.segments import Segment
+from repro.core.service import Service
+from repro.gpu.mig import MigLayout, PlacedInstance
+from repro.profiler.table import ProfileEntry
+
+#: GPUs with at most this many allocated GPCs are considered fragmented and
+#: drained by Allocation Optimization (SIII-E2 sets it to 4 heuristically).
+OPTIMIZATION_GPC_THRESHOLD = 4
+
+#: Preferred slots per segment size (SIII-E1).  A segment is first offered
+#: these slots on every GPU; only if none fits anywhere do the fallback
+#: slots come into play.
+SLOT_PREFERENCES: dict[int, tuple[int, ...]] = {
+    7: (0,),
+    4: (0,),
+    3: (4,),
+    2: (0, 2),
+    1: (0, 1, 2, 3),
+}
+
+#: Fallback slots, used only when no preferred slot exists on any GPU.
+#: Size 3 has none: slot 0 would block slice 3 outright (configurations 5-7
+#: of Figure 1), so the allocator opens a new GPU instead — the paper's
+#: "the decision is made to place it in that GPU or in the next available
+#: GPU, taking into account the constraints of the MIG configurations".
+SLOT_FALLBACKS: dict[int, tuple[int, ...]] = {
+    7: (),
+    4: (),
+    3: (),
+    2: (4, 5),
+    1: (4, 5, 6),
+}
+
+
+@dataclass
+class _GPUState:
+    """Mutable per-GPU build state during allocation."""
+
+    gpu_id: int
+    layout: MigLayout = field(default_factory=MigLayout)
+    placed: list[tuple[Segment, int]] = field(default_factory=list)
+
+    @property
+    def used_gpcs(self) -> int:
+        return self.layout.used_gpcs
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.placed
+
+    def try_place(self, seg: Segment, fallback: bool = False) -> Optional[int]:
+        """Place ``seg`` at a preferred (or fallback) slot, or return None."""
+        slots = (
+            SLOT_FALLBACKS[seg.instance_size]
+            if fallback
+            else SLOT_PREFERENCES[seg.instance_size]
+        )
+        for start in slots:
+            if self.layout.can_add(seg.instance_size, start):
+                self.layout.add(PlacedInstance(seg.instance_size, start))
+                self.placed.append((seg, start))
+                return start
+        return None
+
+    def free_all(self) -> list[Segment]:
+        """Drain every segment, returning them."""
+        segs = [s for s, _ in self.placed]
+        self.placed.clear()
+        self.layout = MigLayout()
+        return segs
+
+
+class SegmentAllocator:
+    """Runs Algorithm 2 over configured services.
+
+    ``optimize=False`` yields the ParvaGPU-unoptimized ablation (Segment
+    Relocation only, Fig. 7's comparison point).
+    """
+
+    def __init__(
+        self,
+        optimize: bool = True,
+        threshold: int = OPTIMIZATION_GPC_THRESHOLD,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.optimize = optimize
+        self.threshold = threshold
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def allocate(self, services: Sequence[Service]) -> Placement:
+        """Full Algorithm 2: relocation, then optional optimization."""
+        gpus = self.segment_relocation(services)
+        if self.optimize:
+            gpus = self.allocation_optimization(gpus, services)
+        return self._to_placement(gpus)
+
+    def segment_relocation(self, services: Sequence[Service]) -> list[_GPUState]:
+        """``SEGMENTRELOCATION`` (Algorithm 2 lines 3-10)."""
+        queues = self._new_queues()
+        for svc in services:
+            for seg in svc.segments():
+                self._enqueue(queues, seg)
+        gpus: list[_GPUState] = []
+        self._allocation(queues, gpus)
+        return gpus
+
+    def allocation_optimization(
+        self, gpus: list[_GPUState], services: Sequence[Service]
+    ) -> list[_GPUState]:
+        """``ALLOCATIONOPTIMIZATION`` (Algorithm 2 lines 13-30)."""
+        by_id: dict[str, Service] = {s.id: s for s in services}
+        freed_rate: dict[str, float] = {}
+        for state in reversed(list(gpus)):
+            if state.is_empty or state.used_gpcs > self.threshold:
+                continue
+            splittable = [
+                seg
+                for seg, _ in state.placed
+                if self._small_triplets(by_id[seg.service_id])
+            ]
+            if len(splittable) != len(state.placed):
+                continue  # some service cannot be expressed as small segments
+            queues = self._new_queues()
+            for seg in state.free_all():
+                svc = by_id[seg.service_id]
+                freed_rate[svc.id] = freed_rate.get(svc.id, 0.0) + seg.throughput
+                for small in self._small_segments(svc, freed_rate[svc.id]):
+                    freed_rate[svc.id] -= small.throughput
+                    self._enqueue(queues, small)
+            self._allocation(queues, gpus)
+        self._compact(gpus)
+        return gpus
+
+    @staticmethod
+    def _compact(gpus: list[_GPUState]) -> None:
+        """Pull small segments from the back into earlier GPUs' holes.
+
+        The final step of "reallocating them to empty spaces, starting from
+        the front GPUs": any size-1/2/3 segment on a later GPU that fits a
+        hole on an earlier GPU moves there, so free capacity concentrates
+        at the allocation frontier instead of lingering as external
+        fragmentation (and a fully-drained tail GPU is released).
+        """
+        for gi in range(len(gpus) - 1, 0, -1):
+            state = gpus[gi]
+            for seg, start in sorted(state.placed, key=lambda p: p[0].instance_size):
+                if seg.instance_size > 3:
+                    continue
+                for earlier in gpus[:gi]:
+                    if (
+                        earlier.try_place(seg) is not None
+                        or earlier.try_place(seg, fallback=True) is not None
+                    ):
+                        state.placed.remove((seg, start))
+                        state.layout.remove(
+                            PlacedInstance(seg.instance_size, start)
+                        )
+                        break
+
+    # ------------------------------------------------------------------ #
+    # ALLOCATION (shared by both stages)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _new_queues() -> dict[int, list[Segment]]:
+        return {7: [], 4: [], 3: [], 2: [], 1: []}
+
+    @staticmethod
+    def _enqueue(queues: dict[int, list[Segment]], seg: Segment) -> None:
+        queues[seg.instance_size].append(seg)
+
+    @staticmethod
+    def _allocation(
+        queues: dict[int, list[Segment]], gpus: list[_GPUState]
+    ) -> None:
+        """Drain queues largest-size first onto the GPU list.
+
+        Per segment: first-fit over every GPU's *preferred* slots, then over
+        fallback slots, then a fresh GPU — so a size-2 only occupies the
+        upper half (slots 4/5) once no lower-half position exists anywhere,
+        and a size-3 never blocks slice 3 by sitting at slot 0.
+        """
+        for size in (7, 4, 3, 2, 1):
+            for seg in queues[size]:
+                placed = any(
+                    state.try_place(seg) is not None for state in gpus
+                ) or any(
+                    state.try_place(seg, fallback=True) is not None
+                    for state in gpus
+                )
+                if not placed:
+                    next_id = max((g.gpu_id for g in gpus), default=-1) + 1
+                    state = _GPUState(gpu_id=next_id)
+                    gpus.append(state)
+                    if state.try_place(seg) is None:  # pragma: no cover
+                        raise RuntimeError(
+                            f"segment {seg.describe()} unplaceable on empty GPU"
+                        )
+            queues[size] = []
+
+    # ------------------------------------------------------------------ #
+    # SMALLSEGMENTS
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _small_triplets(service: Service) -> list[ProfileEntry]:
+        """The service's size-1/size-2 optimal triplets, best tp/GPC first."""
+        entries = [
+            service.opt_tri_array[s] for s in (1, 2) if s in service.opt_tri_array
+        ]
+        entries.sort(key=lambda e: e.throughput_per_gpc, reverse=True)
+        return entries
+
+    @classmethod
+    def _small_segments(cls, service: Service, amount: float) -> list[Segment]:
+        """Cover ``amount`` requests/s with size-1/2 segments (SIII-E2).
+
+        Greedy on throughput-per-GPC, but the final chunk drops to the
+        smallest triplet that still covers the remainder so the split emits
+        minimal capacity surplus.
+        """
+        if amount <= 0:
+            return []
+        entries = cls._small_triplets(service)
+        if not entries:
+            return []
+        smallest_cover = sorted(entries, key=lambda e: e.throughput)
+        out: list[Segment] = []
+        remaining = amount
+        while remaining > 0:
+            final = next(
+                (e for e in smallest_cover if e.throughput >= remaining), None
+            )
+            if final is not None:
+                out.append(Segment.from_entry(service.id, final))
+                break
+            best = entries[0]
+            out.append(Segment.from_entry(service.id, best))
+            remaining -= best.throughput
+        return out
+
+    # ------------------------------------------------------------------ #
+    # result assembly
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _to_placement(gpus: Iterable[_GPUState]) -> Placement:
+        """Build the deployment map, *preserving* GPU ids.
+
+        Ids are kept (not renumbered) so that incremental callers — the
+        SIII-F SLO-update path and failover — produce maps whose unchanged
+        segments still match the running cluster instance-for-instance.
+        """
+        placement = Placement(framework="parvagpu")
+        for state in gpus:
+            if state.is_empty:
+                continue
+            plan = GPUPlan(gpu_id=state.gpu_id)
+            for seg, start in state.placed:
+                plan.segments.append(
+                    PlacedSegment(
+                        service_id=seg.service_id,
+                        model=seg.model,
+                        kind="mig",
+                        gpcs=float(seg.instance_size),
+                        batch_size=seg.batch_size,
+                        num_processes=seg.num_processes,
+                        capacity=seg.throughput,
+                        latency_ms=seg.latency_ms,
+                        sm_activity=seg.sm_activity,
+                        start=start,
+                    )
+                )
+            placement.gpus.append(plan)
+        return placement

@@ -1,0 +1,181 @@
+"""Algorithm 1 — the GPU Segment Configurator.
+
+Two stages, exactly as the paper decomposes them:
+
+1. **Optimal Triplet Decision** (``TRIPLETDECISION``): for each of the five
+   instance sizes, find the (batch, procs) maximizing throughput among
+   profiled points whose latency beats the service's (effective) SLO.
+   The result is the service's ``opt_tri_array`` — at most five triplets.
+
+2. **Demand Matching** (``DEMANDMATCHING``): pick the *optimal segment* —
+   the triplet maximizing throughput **per GPC** (the Eq. 1/2 argument shows
+   this greedy choice minimizes total GPCs, making the tree search O(1)) —
+   take ``floor(rate / tp)`` copies of it, then cover the remaining rate
+   with the *last segment*: the smallest instance size whose optimal
+   triplet still satisfies the leftover.  Low request rates take the
+   ``num_opt_seg = 0`` path and get a single right-sized segment, which is
+   what prevents internal slack on small services.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Optional
+
+from repro.core.segments import Segment
+from repro.core.service import InfeasibleServiceError, Service
+from repro.profiler.table import ProfileEntry, ProfileTable
+
+#: Relative tolerance when comparing profiled throughputs: profile noise
+#: below this level must not flip a triplet decision.
+_EPS = 1e-12
+
+
+class SegmentConfigurator:
+    """Runs Algorithm 1 over a set of services.
+
+    ``max_processes`` exists for the ParvaGPU-single ablation: setting it
+    to 1 restricts the triplet search to single-process points, i.e. MIG
+    without MPS.
+    """
+
+    def __init__(
+        self,
+        profiles: Mapping[str, ProfileTable],
+        max_processes: int = 3,
+    ) -> None:
+        if max_processes < 1:
+            raise ValueError("max_processes must be >= 1")
+        self.profiles = profiles
+        self.max_processes = max_processes
+
+    # ------------------------------------------------------------------ #
+    # stage 1: Optimal Triplet Decision
+    # ------------------------------------------------------------------ #
+
+    def triplet_decision(self, service: Service) -> dict[int, ProfileEntry]:
+        """``TRIPLETDECISION`` for one service (Algorithm 1 lines 3-12).
+
+        Returns the ``max_triplets`` array: instance size -> the profiled
+        point of maximum throughput whose latency is below the effective
+        SLO.  Sizes with no feasible point are absent (e.g. too tight an
+        SLO for a size-1 instance, or OOM everywhere).
+        """
+        table = self._table(service)
+        best: dict[int, ProfileEntry] = {}
+        for entry in table:
+            if entry.num_processes > self.max_processes:
+                continue
+            if entry.latency_ms >= service.effective_slo_ms:
+                continue  # line 6: only profile rows beating the SLO
+            cur = best.get(entry.instance_size)
+            if cur is None or entry.throughput > cur.throughput * (1 + _EPS):
+                best[entry.instance_size] = entry
+        if not best:
+            raise InfeasibleServiceError(
+                f"{service.id}: no (instance, batch, procs) point meets "
+                f"{service.effective_slo_ms:.1f} ms"
+            )
+        service.opt_tri_array = best
+        return best
+
+    # ------------------------------------------------------------------ #
+    # stage 2: Demand Matching
+    # ------------------------------------------------------------------ #
+
+    def demand_matching(self, service: Service) -> Service:
+        """``DEMANDMATCHING`` for one service (Algorithm 1 lines 15-21)."""
+        if not service.opt_tri_array:
+            self.triplet_decision(service)
+        tri = service.opt_tri_array
+
+        opt_entry = self._opt_segment_entry(tri)
+        opt_seg = Segment.from_entry(service.id, opt_entry)
+
+        # line 18: floor(rate / tp) full optimal segments ...  The small
+        # relative nudge keeps exact multiples of the segment throughput
+        # from losing a segment to floating-point rounding, and leftovers
+        # below one part per million of a segment are treated as zero.
+        num_opt = math.floor(
+            service.request_rate / opt_seg.throughput * (1 + 1e-9)
+        )
+        left = service.request_rate - num_opt * opt_seg.throughput
+        if left < 1e-6 * opt_seg.throughput:
+            left = 0.0
+
+        # lines 19-20: ... and the smallest instance size that covers the
+        # remaining rate as the last segment.  Within that size the point is
+        # rate-matched, not throughput-maximal: the paper notes lines 19-20
+        # "enable the selection of a segment suitable for that particular
+        # request rate", which is what keeps the last segment's internal
+        # slack down when the leaf demand is low.
+        last: Optional[Segment] = None
+        if left > _EPS:
+            last_entry = self._last_segment_entry(tri, left)
+            if last_entry is None:
+                # Defensive: the optimal segment itself always qualifies
+                # (left < opt tp), so this cannot trigger with a coherent
+                # triplet array — but profiles are caller-supplied.
+                last_entry = opt_entry
+            last_entry = self._rate_matched_entry(service, last_entry, left)
+            last = Segment.from_entry(service.id, last_entry)
+
+        service.opt_seg = opt_seg
+        service.num_opt_seg = num_opt
+        service.last_seg = last
+        return service
+
+    def configure(self, services: Iterable[Service]) -> list[Service]:
+        """Run both stages for every service (the full Algorithm 1)."""
+        out = []
+        for svc in services:
+            self.triplet_decision(svc)
+            self.demand_matching(svc)
+            out.append(svc)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+
+    def _table(self, service: Service) -> ProfileTable:
+        try:
+            return self.profiles[service.model]
+        except KeyError:
+            raise InfeasibleServiceError(
+                f"{service.id}: model {service.model!r} was never profiled"
+            ) from None
+
+    @staticmethod
+    def _opt_segment_entry(tri: Mapping[int, ProfileEntry]) -> ProfileEntry:
+        """``OPTSEG``: maximize throughput / instance size (Eq. 2)."""
+        return max(
+            tri.values(),
+            key=lambda e: (e.throughput_per_gpc, -e.instance_size),
+        )
+
+    @staticmethod
+    def _last_segment_entry(
+        tri: Mapping[int, ProfileEntry], left_rate: float
+    ) -> Optional[ProfileEntry]:
+        """``LASTSEG``: smallest instance size covering ``left_rate``."""
+        for size in sorted(tri):
+            entry = tri[size]
+            if entry.throughput >= left_rate - _EPS:
+                return entry
+        return None
+
+    def _rate_matched_entry(
+        self, service: Service, candidate: ProfileEntry, left_rate: float
+    ) -> ProfileEntry:
+        """Tightest SLO-feasible point of ``candidate``'s size >= the rate."""
+        table = self._table(service)
+        best = candidate
+        for e in table.entries_for_size(candidate.instance_size):
+            if e.num_processes > self.max_processes:
+                continue
+            if e.latency_ms >= service.effective_slo_ms:
+                continue
+            if e.throughput >= left_rate - _EPS and e.throughput < best.throughput:
+                best = e
+        return best

@@ -1,0 +1,124 @@
+"""Deployment and the SIII-F SLO-update path.
+
+``DeploymentManager`` owns a :class:`~repro.gpu.cluster.Cluster` and keeps
+it in sync with the latest placement.  The SLO-update path re-runs the
+Segment Configurator for *one* service, removes only that service's
+segments from the deployment map, re-relocates them into the existing map
+and re-optimizes — so services whose placement did not change are not
+reconfigured (the paper's reconfiguration-overhead argument).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.core.allocator import SegmentAllocator, _GPUState
+from repro.core.configurator import SegmentConfigurator
+from repro.core.placement import Placement
+from repro.core.segments import Segment
+from repro.core.service import Service
+from repro.gpu.cluster import Cluster, ReconfigurationPlan
+from repro.gpu.mig import MigLayout, PlacedInstance
+from repro.profiler.table import ProfileTable
+
+
+class DeploymentManager:
+    """Keeps a physical (simulated) cluster in sync with placements."""
+
+    def __init__(
+        self,
+        profiles: Mapping[str, ProfileTable],
+        cluster: Optional[Cluster] = None,
+    ) -> None:
+        self.profiles = profiles
+        self.cluster = cluster if cluster is not None else Cluster()
+        self.current: Optional[Placement] = None
+
+    # ------------------------------------------------------------------ #
+    # initial deployment
+    # ------------------------------------------------------------------ #
+
+    def deploy(self, placement: Placement) -> ReconfigurationPlan:
+        """Reconfigure the cluster to host ``placement``.
+
+        Returns the reconfiguration plan that was executed; its
+        ``unchanged`` list is the set of instances that kept serving
+        throughout (the paper's shadow-process-free fast path).
+        """
+        placement.validate()
+        plan = self.cluster.plan_reconfiguration(placement.to_instance_specs())
+        self.cluster.execute(plan)
+        self.current = placement
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # SLO update (SIII-F)
+    # ------------------------------------------------------------------ #
+
+    def update_slo(
+        self,
+        services: Sequence[Service],
+        changed: Service,
+        new_slo_ms: Optional[float] = None,
+        new_rate: Optional[float] = None,
+        use_mps: bool = True,
+        optimize: bool = True,
+    ) -> tuple[Placement, ReconfigurationPlan]:
+        """Re-plan one service without re-profiling or moving the others.
+
+        Implements SIII-F: the Segment Configurator reconstructs only the
+        changed service's segments; the deployment map keeps every other
+        service where it is; relocation + optimization run for the changed
+        service's segments only.
+        """
+        if self.current is None:
+            raise RuntimeError("nothing deployed yet")
+        if new_slo_ms is not None:
+            changed.slo_latency_ms = new_slo_ms
+        if new_rate is not None:
+            changed.request_rate = new_rate
+        changed.reset_plan()
+
+        configurator = SegmentConfigurator(
+            self.profiles, max_processes=3 if use_mps else 1
+        )
+        configurator.configure([changed])
+
+        # Rebuild allocator state from the current map, minus the changed
+        # service's segments.
+        gpus: list[_GPUState] = []
+        for plan in self.current.gpus:
+            state = _GPUState(gpu_id=plan.gpu_id)
+            for seg in plan.segments:
+                if seg.service_id == changed.id:
+                    continue
+                state.layout.add(PlacedInstance(int(seg.gpcs), seg.start))
+                state.placed.append(
+                    (
+                        Segment(
+                            service_id=seg.service_id,
+                            model=seg.model,
+                            instance_size=int(seg.gpcs),
+                            batch_size=seg.batch_size,
+                            num_processes=seg.num_processes,
+                            throughput=seg.capacity,
+                            latency_ms=seg.latency_ms,
+                            sm_activity=seg.sm_activity,
+                        ),
+                        seg.start,
+                    )
+                )
+            gpus.append(state)
+
+        allocator = SegmentAllocator(optimize=optimize)
+        queues = allocator._new_queues()
+        for seg in changed.segments():
+            allocator._enqueue(queues, seg)
+        allocator._allocation(queues, gpus)
+        if optimize:
+            gpus = allocator.allocation_optimization(gpus, list(services))
+        placement = allocator._to_placement(gpus)
+        placement.framework = self.current.framework
+        placement.assign_rates({s.id: s.request_rate for s in services})
+        plan = self.deploy(placement)
+        return placement, plan

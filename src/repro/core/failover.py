@@ -1,0 +1,126 @@
+"""GPU failure handling on top of the SIII-F incremental machinery.
+
+Cloud GPUs fail (or get preempted — the paper cites SpotServe's preemptible
+instances as a serving reality).  When a GPU dies, every segment it hosted
+loses capacity; the recovery path mirrors the SLO-update path: the affected
+services' lost segments are re-enqueued and relocated into the surviving
+map (growing the fleet only if no hole fits), while untouched services keep
+serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.allocator import SegmentAllocator, _GPUState
+from repro.core.deployment import DeploymentManager
+from repro.core.placement import Placement
+from repro.core.segments import Segment
+from repro.core.service import Service
+from repro.gpu.mig import PlacedInstance
+from repro.gpu.reconfig import ReconfigurationCost, price_plan
+from repro.profiler.table import ProfileTable
+
+
+@dataclass(frozen=True)
+class FailoverResult:
+    """Outcome of recovering from one GPU failure."""
+
+    failed_gpu: int
+    affected_services: tuple[str, ...]
+    lost_capacity: Mapping[str, float]  #: requests/s lost per service
+    placement: Placement  #: the recovered deployment map
+    cost: ReconfigurationCost
+    gpus_before: int
+    gpus_after: int
+
+
+class FailoverController:
+    """Recovers deployments from GPU failures."""
+
+    def __init__(
+        self,
+        profiles: Mapping[str, ProfileTable],
+        manager: DeploymentManager,
+        optimize: bool = True,
+    ) -> None:
+        self.profiles = profiles
+        self.manager = manager
+        self.optimize = optimize
+
+    def fail_gpu(
+        self, gpu_id: int, services: Sequence[Service]
+    ) -> FailoverResult:
+        """Handle the loss of ``gpu_id``: relocate its segments elsewhere."""
+        current = self.manager.current
+        if current is None:
+            raise RuntimeError("nothing deployed yet")
+        victim = next((g for g in current.gpus if g.gpu_id == gpu_id), None)
+        if victim is None or victim.is_empty:
+            raise ValueError(f"GPU {gpu_id} hosts no segments")
+
+        lost: dict[str, float] = {}
+        lost_segments: list[Segment] = []
+        for seg in victim.segments:
+            lost[seg.service_id] = lost.get(seg.service_id, 0.0) + seg.capacity
+            lost_segments.append(
+                Segment(
+                    service_id=seg.service_id,
+                    model=seg.model,
+                    instance_size=int(seg.gpcs),
+                    batch_size=seg.batch_size,
+                    num_processes=seg.num_processes,
+                    throughput=seg.capacity,
+                    latency_ms=seg.latency_ms,
+                    sm_activity=seg.sm_activity,
+                )
+            )
+
+        # Rebuild allocator state from every *surviving* GPU.
+        gpus: list[_GPUState] = []
+        for plan in current.gpus:
+            if plan.gpu_id == gpu_id:
+                continue
+            state = _GPUState(gpu_id=plan.gpu_id)
+            for seg in plan.segments:
+                state.layout.add(PlacedInstance(int(seg.gpcs), seg.start))
+                state.placed.append(
+                    (
+                        Segment(
+                            service_id=seg.service_id,
+                            model=seg.model,
+                            instance_size=int(seg.gpcs),
+                            batch_size=seg.batch_size,
+                            num_processes=seg.num_processes,
+                            throughput=seg.capacity,
+                            latency_ms=seg.latency_ms,
+                            sm_activity=seg.sm_activity,
+                        ),
+                        seg.start,
+                    )
+                )
+            gpus.append(state)
+
+        allocator = SegmentAllocator(optimize=self.optimize)
+        queues = allocator._new_queues()
+        for seg in lost_segments:
+            allocator._enqueue(queues, seg)
+        allocator._allocation(queues, gpus)
+        if self.optimize:
+            gpus = allocator.allocation_optimization(gpus, list(services))
+
+        placement = allocator._to_placement(gpus)
+        placement.framework = current.framework
+        placement.assign_rates({s.id: s.request_rate for s in services})
+        gpus_before = current.num_gpus
+        plan = self.manager.deploy(placement)
+        return FailoverResult(
+            failed_gpu=gpu_id,
+            affected_services=tuple(sorted(lost)),
+            lost_capacity=lost,
+            placement=placement,
+            cost=price_plan(plan),
+            gpus_before=gpus_before,
+            gpus_after=placement.num_gpus,
+        )

@@ -1,0 +1,240 @@
+"""Deployment maps: where every partition of every service lives.
+
+:class:`Placement` is the common result type of *all* schedulers in this
+repository (ParvaGPU and every baseline), so the metrics layer, simulator
+and experiment harnesses are framework-agnostic.  Two partition kinds
+exist:
+
+- ``"mig"`` — a MIG-backed GPU segment with an integral size and start slot
+  (ParvaGPU, MIG-serving);
+- ``"mps"`` — an MPS percentage slice of a whole GPU with a fractional GPC
+  share and no slot (gpulet, iGniter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Literal, Optional
+
+from repro.gpu.gpu import SMS_PER_GPC, SMS_PER_GPU
+from repro.gpu.mig import MigLayout, PlacedInstance
+from repro.gpu.cluster import InstanceSpec
+
+PartitionKind = Literal["mig", "mps"]
+
+
+@dataclass(frozen=True)
+class PlacedSegment:
+    """One partition of one service pinned to a GPU."""
+
+    service_id: str
+    model: str
+    kind: PartitionKind
+    gpcs: float  #: integral for MIG; fractional share * 7 for MPS
+    batch_size: int
+    num_processes: int
+    capacity: float  #: requests/s the partition sustains at this point
+    latency_ms: float  #: expected per-batch latency (incl. interference)
+    sm_activity: float  #: SM activity when fully loaded
+    start: Optional[int] = None  #: MIG start slot; None for MPS
+    served_rate: float = 0.0  #: requests/s actually routed here
+
+    def __post_init__(self) -> None:
+        if self.kind == "mig":
+            if self.start is None:
+                raise ValueError("MIG partitions need a start slot")
+            if abs(self.gpcs - round(self.gpcs)) > 1e-9:
+                raise ValueError("MIG partitions have integral GPC sizes")
+        if self.gpcs <= 0 or self.gpcs > 7:
+            raise ValueError(f"partition size {self.gpcs} outside (0, 7]")
+        if self.capacity <= 0:
+            raise ValueError("partition capacity must be positive")
+
+    @property
+    def sm_count(self) -> float:
+        return self.gpcs * SMS_PER_GPC
+
+    @property
+    def load_fraction(self) -> float:
+        """Fraction of capacity actually exercised by routed traffic."""
+        return min(1.0, self.served_rate / self.capacity)
+
+    def with_served_rate(self, rate: float) -> "PlacedSegment":
+        return replace(self, served_rate=rate)
+
+
+@dataclass
+class GPUPlan:
+    """All partitions assigned to one GPU."""
+
+    gpu_id: int
+    segments: list[PlacedSegment] = field(default_factory=list)
+
+    @property
+    def used_gpcs(self) -> float:
+        return sum(s.gpcs for s in self.segments)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.segments
+
+    def validate(self) -> None:
+        """Check MIG legality / MPS quota on this GPU."""
+        layout = MigLayout()
+        mps_share = 0.0
+        for seg in self.segments:
+            if seg.kind == "mig":
+                layout.add(PlacedInstance(int(seg.gpcs), seg.start))  # raises
+            else:
+                mps_share += seg.gpcs / 7.0
+        if mps_share > 1.0 + 1e-9:
+            raise ValueError(
+                f"GPU {self.gpu_id}: MPS shares sum to {mps_share:.2f} > 1"
+            )
+        if mps_share > 0 and len(layout):
+            raise ValueError(
+                f"GPU {self.gpu_id}: mixing whole-GPU MPS partitions with MIG"
+            )
+
+
+@dataclass
+class Placement:
+    """A full deployment map plus scheduling metadata."""
+
+    framework: str
+    gpus: list[GPUPlan] = field(default_factory=list)
+    scheduling_delay_ms: float = 0.0
+    rates_assigned: bool = False  #: set when the scheduler routed traffic itself
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    def gpu(self, gpu_id: int) -> GPUPlan:
+        while len(self.gpus) <= gpu_id:
+            self.gpus.append(GPUPlan(gpu_id=len(self.gpus)))
+        return self.gpus[gpu_id]
+
+    def add(self, gpu_id: int, segment: PlacedSegment) -> None:
+        self.gpu(gpu_id).segments.append(segment)
+
+    def drop_empty_gpus(self) -> None:
+        """Renumber away trailing/interior empty GPUs."""
+        live = [g for g in self.gpus if not g.is_empty]
+        for new_id, plan in enumerate(live):
+            plan.gpu_id = new_id
+        self.gpus = live
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_gpus(self) -> int:
+        """GPUs hosting at least one partition (Fig. 5's metric)."""
+        return sum(1 for g in self.gpus if not g.is_empty)
+
+    def iter_segments(self) -> Iterator[tuple[int, PlacedSegment]]:
+        for g in self.gpus:
+            for s in g.segments:
+                yield g.gpu_id, s
+
+    def segments_of(self, service_id: str) -> list[PlacedSegment]:
+        return [s for _, s in self.iter_segments() if s.service_id == service_id]
+
+    def service_ids(self) -> tuple[str, ...]:
+        return tuple(sorted({s.service_id for _, s in self.iter_segments()}))
+
+    def total_capacity(self, service_id: str) -> float:
+        return sum(s.capacity for s in self.segments_of(service_id))
+
+    def allocated_sms(self) -> float:
+        return sum(s.sm_count for _, s in self.iter_segments())
+
+    def total_sms(self) -> float:
+        return self.num_gpus * SMS_PER_GPU
+
+    def validate(self) -> None:
+        for g in self.gpus:
+            g.validate()
+
+    # ------------------------------------------------------------------ #
+    # traffic assignment
+    # ------------------------------------------------------------------ #
+
+    def assign_rates(
+        self, rates: dict[str, float], policy: str = "proportional"
+    ) -> None:
+        """Distribute each service's request rate over its partitions.
+
+        ``"proportional"`` (default) spreads the rate according to
+        capacity, which is the steady state of a least-loaded router and
+        keeps every partition's utilization strictly below one.  ``"fill"``
+        saturates partitions in descending throughput-per-GPC order
+        instead (optimal segments at capacity, the rate-matched last
+        segment absorbing the remainder).
+        """
+        for service_id, rate in rates.items():
+            refs = [
+                (g, i)
+                for g in self.gpus
+                for i, s in enumerate(g.segments)
+                if s.service_id == service_id
+            ]
+            if not refs:
+                raise ValueError(f"no partitions for service {service_id!r}")
+            if policy == "proportional":
+                total = sum(g.segments[i].capacity for g, i in refs)
+                for g, i in refs:
+                    s = g.segments[i]
+                    g.segments[i] = s.with_served_rate(rate * s.capacity / total)
+            elif policy == "fill":
+                refs.sort(
+                    key=lambda ref: ref[0].segments[ref[1]].capacity
+                    / ref[0].segments[ref[1]].gpcs,
+                    reverse=True,
+                )
+                remaining = rate
+                for g, i in refs:
+                    s = g.segments[i]
+                    share = min(s.capacity, remaining)
+                    g.segments[i] = s.with_served_rate(share)
+                    remaining -= share
+                if remaining > 1e-6:
+                    # Demand beyond planned capacity: overload the largest
+                    # partition (the simulator will show the violations).
+                    g, i = refs[0]
+                    s = g.segments[i]
+                    g.segments[i] = s.with_served_rate(s.served_rate + remaining)
+            else:
+                raise ValueError(f"unknown routing policy {policy!r}")
+        self.rates_assigned = True
+
+    # ------------------------------------------------------------------ #
+    # deployment
+    # ------------------------------------------------------------------ #
+
+    def to_instance_specs(self) -> list[InstanceSpec]:
+        """MIG deployments as cluster instance specs (SIII-F)."""
+        specs: list[InstanceSpec] = []
+        for gpu_id, seg in self.iter_segments():
+            if seg.kind != "mig":
+                raise ValueError("only MIG placements deploy to MIG clusters")
+            specs.append(
+                InstanceSpec(
+                    gpu_id=gpu_id,
+                    size=int(seg.gpcs),
+                    start=seg.start,  # type: ignore[arg-type]
+                    owner=seg.service_id,
+                    num_processes=seg.num_processes,
+                    batch_size=seg.batch_size,
+                )
+            )
+        return specs
+
+
+def merge_gpu_plans(framework: str, plans: Iterable[GPUPlan]) -> Placement:
+    """Assemble a placement from per-GPU plans (renumbering empties away)."""
+    p = Placement(framework=framework, gpus=list(plans))
+    p.drop_empty_gpus()
+    return p

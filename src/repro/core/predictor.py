@@ -1,0 +1,60 @@
+"""The SIV-D predictor: plan GPU deployments without physical GPUs.
+
+Every framework in the evaluation exposes a predictor so clients can size
+fleets before renting them; for the reproduction this is simply scheduling
+against profiled data with no cluster attached, returning the headline
+quantities Figures 10/11 plot (GPU count and scheduling delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.core.placement import Placement
+from repro.core.service import Service
+
+
+class _Scheduler(Protocol):  # pragma: no cover - typing helper
+    @property
+    def name(self) -> str: ...
+
+    def schedule(self, services: Sequence[Service]) -> Placement: ...
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """What a client sees when asking "how many GPUs will this take?"."""
+
+    framework: str
+    num_gpus: int
+    scheduling_delay_ms: float
+    total_capacity: float  #: aggregate provisioned requests/s
+    total_demand: float  #: aggregate requested requests/s
+    placement: Placement
+
+    @property
+    def overprovision_factor(self) -> float:
+        return self.total_capacity / self.total_demand if self.total_demand else 0.0
+
+
+class Predictor:
+    """Wraps any scheduler into the predictor interface."""
+
+    def __init__(self, scheduler: _Scheduler) -> None:
+        self.scheduler = scheduler
+
+    def predict(self, services: Sequence[Service]) -> Prediction:
+        placement = self.scheduler.schedule(services)
+        capacity = sum(
+            seg.capacity for _, seg in placement.iter_segments()
+        )
+        demand = sum(s.request_rate for s in services)
+        return Prediction(
+            framework=placement.framework,
+            num_gpus=placement.num_gpus,
+            scheduling_delay_ms=placement.scheduling_delay_ms,
+            total_capacity=capacity,
+            total_demand=demand,
+            placement=placement,
+        )

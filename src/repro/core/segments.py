@@ -1,0 +1,70 @@
+"""GPU segments: MPS-enabled MIG instances running one workload.
+
+A segment is the paper's unit of allocation — an (instance size, batch
+size, process count) triplet bound to a service, carrying the profiled
+throughput and latency of that operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.gpu import SMS_PER_GPC
+from repro.gpu.mig import INSTANCE_SIZES
+from repro.profiler.table import ProfileEntry
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One GPU segment as decided by the Segment Configurator."""
+
+    service_id: str
+    model: str
+    instance_size: int  #: GPCs: 1, 2, 3, 4 or 7
+    batch_size: int
+    num_processes: int
+    throughput: float  #: profiled aggregate requests/s
+    latency_ms: float  #: profiled per-batch latency
+    sm_activity: float  #: profiled SM activity at full load
+
+    def __post_init__(self) -> None:
+        if self.instance_size not in INSTANCE_SIZES:
+            raise ValueError(f"no MIG instance of size {self.instance_size}")
+        if self.batch_size < 1 or self.num_processes < 1:
+            raise ValueError("batch size and process count must be >= 1")
+        if self.throughput <= 0:
+            raise ValueError("segment throughput must be positive")
+
+    @property
+    def triplet(self) -> tuple[int, int, int]:
+        return (self.instance_size, self.batch_size, self.num_processes)
+
+    @property
+    def sm_count(self) -> int:
+        return self.instance_size * SMS_PER_GPC
+
+    @property
+    def throughput_per_gpc(self) -> float:
+        return self.throughput / self.instance_size
+
+    @classmethod
+    def from_entry(cls, service_id: str, entry: ProfileEntry) -> "Segment":
+        """Build a segment from a profiled operating point."""
+        return cls(
+            service_id=service_id,
+            model=entry.model,
+            instance_size=entry.instance_size,
+            batch_size=entry.batch_size,
+            num_processes=entry.num_processes,
+            throughput=entry.throughput,
+            latency_ms=entry.latency_ms,
+            sm_activity=entry.sm_activity,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form, e.g. ``svc@3g b8 p2 (1234 req/s)``."""
+        return (
+            f"{self.service_id}@{self.instance_size}g "
+            f"b{self.batch_size} p{self.num_processes} "
+            f"({self.throughput:.0f} req/s)"
+        )

@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every harness returns an :class:`ExperimentResult` whose rows mirror the
+series the paper plots; ``python -m repro.experiments <id>`` renders them
+as text tables.  The registry maps experiment ids (``fig5`` ... ``table1``)
+to their runner functions.
+"""
+
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment", "run_experiment"]

@@ -1,0 +1,25 @@
+"""CLI: ``python -m repro.experiments [ids...]`` renders experiment tables."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    ids = args if args else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        print(run_experiment(experiment_id).render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Terminal charts for experiment results.
+
+The paper's figures are grouped bar charts (per-scenario, per-framework)
+and line series (scaling factors).  For a terminal-only reproduction these
+render as Unicode bar rows, one group per scenario — enough to eyeball the
+shapes EXPERIMENTS.md discusses without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.registry import ExperimentResult
+
+#: glyph used for bar fills
+_BAR = "█"
+_HALF = "▌"
+
+
+def render_bar_chart(
+    result: ExperimentResult,
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Render a grouped bar chart: first column = group, rest = series.
+
+    ``None`` cells (e.g. iGniter on S5/S6) render as ``n/a`` rows, matching
+    the missing bars in the paper's figures.
+    """
+    groups = [str(row[0]) for row in result.rows]
+    series = result.columns[1:]
+    values: list[list[Optional[float]]] = [
+        [None if v is None else float(v) for v in row[1:]] for row in result.rows
+    ]
+    observed = [v for row in values for v in row if v is not None]
+    if not observed:
+        return f"{result.title}\n(no data)"
+    peak = max_value if max_value is not None else max(observed)
+    if peak <= 0:
+        peak = 1.0
+
+    label_w = max(len(s) for s in series)
+    lines = [f"{result.experiment_id}: {result.title}"]
+    for group, row in zip(groups, values):
+        lines.append(f"{group}")
+        for name, v in zip(series, row):
+            if v is None:
+                lines.append(f"  {name:<{label_w}} │ n/a")
+                continue
+            cells = v / peak * width
+            bar = _BAR * int(cells)
+            if cells - int(cells) >= 0.5:
+                bar += _HALF
+            lines.append(f"  {name:<{label_w}} │{bar} {v:g}")
+    lines.append(f"  {'':<{label_w}} └{'─' * width}")
+    lines.append(f"  scale: full bar = {peak:g}")
+    return "\n".join(lines)
+
+
+def render_series(
+    result: ExperimentResult, height: int = 12, width: Optional[int] = None
+) -> str:
+    """Render line series (Fig. 10/11 style): x = first column, one mark
+    per series using its initial letter."""
+    xs = [row[0] for row in result.rows]
+    series = result.columns[1:]
+    cols = width if width is not None else len(xs)
+    observed = [
+        float(v) for row in result.rows for v in row[1:] if v is not None
+    ]
+    if not observed:
+        return f"{result.title}\n(no data)"
+    lo, hi = min(observed), max(observed)
+    span = hi - lo or 1.0
+
+    grid = [[" "] * cols for _ in range(height)]
+    marks = {}
+    for si, name in enumerate(series):
+        mark = name[0].upper()
+        if mark in marks.values():
+            mark = name[0].lower()
+        marks[name] = mark
+        for xi, row in enumerate(result.rows[:cols]):
+            v = row[1 + si]
+            if v is None:
+                continue
+            yi = int((float(v) - lo) / span * (height - 1))
+            grid[height - 1 - yi][xi] = mark
+
+    lines = [f"{result.experiment_id}: {result.title}"]
+    for ri, row in enumerate(grid):
+        label = f"{hi:8.2f}" if ri == 0 else (f"{lo:8.2f}" if ri == height - 1 else " " * 8)
+        lines.append(f"{label} │ " + " ".join(row))
+    lines.append(" " * 8 + "└" + "──" * cols)
+    lines.append(" " * 10 + " ".join(str(x)[-1] for x in xs[:cols]))
+    lines.append(
+        "legend: " + ", ".join(f"{m}={n}" for n, m in marks.items())
+    )
+    return "\n".join(lines)

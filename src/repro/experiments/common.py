@@ -1,0 +1,76 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Mapping, Optional, Sequence
+
+from repro.baselines import InfeasibleScheduleError, make_framework
+from repro.core.placement import Placement
+from repro.core.service import Service
+from repro.profiler import ProfileTable, profile_workloads
+from repro.scenarios import scenario_services
+from repro.scenarios.table4 import SCENARIO_NAMES
+
+#: Fig. 5/6/8/9 framework order (iGniter is absent from Fig. 7's legend and
+#: ParvaGPU-unoptimized takes its place there).
+STANDARD_FRAMEWORKS: tuple[str, ...] = (
+    "gpulet",
+    "igniter",
+    "mig-serving",
+    "parvagpu-single",
+    "parvagpu",
+)
+
+FIG7_FRAMEWORKS: tuple[str, ...] = (
+    "gpulet",
+    "igniter",
+    "mig-serving",
+    "parvagpu-unoptimized",
+    "parvagpu",
+)
+
+#: Fig. 10/11 framework set (iGniter cannot run S5).
+SCALING_FRAMEWORKS: tuple[str, ...] = (
+    "gpulet",
+    "mig-serving",
+    "parvagpu-single",
+    "parvagpu",
+)
+
+
+@lru_cache(maxsize=1)
+def cached_profiles() -> Mapping[str, ProfileTable]:
+    """The Table-IV zoo profiled once per process."""
+    return profile_workloads()
+
+
+def schedule_scenario(
+    framework: str,
+    scenario: str,
+    profiles: Optional[Mapping[str, ProfileTable]] = None,
+    services: Optional[Sequence[Service]] = None,
+) -> tuple[Optional[Placement], list[Service]]:
+    """Schedule a scenario; ``(None, services)`` when the framework fails.
+
+    A fresh service list is built per call because schedulers mutate the
+    Configurator fields on the service objects.
+    """
+    if profiles is None:
+        profiles = cached_profiles()
+    svcs = list(services) if services is not None else scenario_services(scenario)
+    fw = make_framework(framework, profiles)
+    try:
+        return fw.schedule(svcs), svcs
+    except InfeasibleScheduleError:
+        return None, svcs
+
+
+__all__ = [
+    "STANDARD_FRAMEWORKS",
+    "FIG7_FRAMEWORKS",
+    "SCALING_FRAMEWORKS",
+    "SCENARIO_NAMES",
+    "cached_profiles",
+    "schedule_scenario",
+]

@@ -1,0 +1,64 @@
+"""Figures 3/4 — InceptionV3 throughput/latency vs (instance, batch, procs).
+
+The paper plots three surfaces per figure (one per MPS process count) over
+instance size x batch size.  The harness emits the same grid, dropping OOM
+points exactly as the paper does, and carries the four anchor measurements
+quoted in SIII-B as notes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import cached_profiles
+from repro.experiments.registry import ExperimentResult
+from repro.gpu.mig import INSTANCE_SIZES
+from repro.models.perf import PROFILE_BATCH_SIZES, PROFILE_PROCESS_COUNTS
+
+MODEL = "inceptionv3"
+
+
+def _grid(metric: str, experiment_id: str, title: str) -> ExperimentResult:
+    table = cached_profiles()[MODEL]
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        columns=("procs", "instance", *[f"b{b}" for b in PROFILE_BATCH_SIZES]),
+    )
+    for p in PROFILE_PROCESS_COUNTS:
+        for g in INSTANCE_SIZES:
+            row: list[object] = [p, g]
+            for b in PROFILE_BATCH_SIZES:
+                e = table.lookup(g, b, p)
+                if e is None:
+                    row.append(None)  # OOM point, absent as in the paper
+                elif metric == "throughput":
+                    row.append(round(e.throughput))
+                else:
+                    row.append(round(e.latency_ms, 1))
+            result.add(*row)
+    return result
+
+
+def run_fig3() -> ExperimentResult:
+    result = _grid(
+        "throughput",
+        "fig3",
+        "InceptionV3 throughput (req/s) by instance size, batch, process count",
+    )
+    result.notes.append(
+        "paper anchors: size1/b4 -> 354/444/446 req/s for 1/2/3 procs; "
+        "size4/b8 -> 786/1695/1810 req/s"
+    )
+    return result
+
+
+def run_fig4() -> ExperimentResult:
+    result = _grid(
+        "latency",
+        "fig4",
+        "InceptionV3 latency (ms) by instance size, batch, process count",
+    )
+    result.notes.append(
+        "paper anchors: size1/b4 -> 11/18/27 ms for 1/2/3 procs; "
+        "size4/b8 -> 10/9/13 ms"
+    )
+    return result

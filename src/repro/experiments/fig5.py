@@ -1,0 +1,44 @@
+"""Figure 5 — total number of GPUs of each baseline and ParvaGPU."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    SCENARIO_NAMES,
+    STANDARD_FRAMEWORKS,
+    schedule_scenario,
+)
+from repro.experiments.registry import ExperimentResult
+
+
+def run(frameworks: tuple[str, ...] = STANDARD_FRAMEWORKS) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Total number of GPUs per scenario",
+        columns=("scenario", *frameworks),
+    )
+    for scenario in SCENARIO_NAMES:
+        row: list[object] = [scenario]
+        for fw in frameworks:
+            placement, _ = schedule_scenario(fw, scenario)
+            row.append(None if placement is None else placement.num_gpus)
+        result.add(*row)
+
+    # Headline savings the paper quotes: 46.5% / 34.6% / 41.0% on average
+    # vs gpulet / iGniter / MIG-serving.
+    parva = result.column("parvagpu")
+    for rival in ("gpulet", "igniter", "mig-serving"):
+        if rival not in frameworks:
+            continue
+        pairs = [
+            (p, r)
+            for p, r in zip(parva, result.column(rival))
+            if p is not None and r is not None
+        ]
+        if pairs:
+            saving = 100.0 * (1.0 - sum(p for p, _ in pairs) / sum(r for _, r in pairs))
+            result.notes.append(f"ParvaGPU saves {saving:.1f}% GPUs vs {rival}")
+    result.notes.append(
+        "paper: 46.5% vs gpulet, 34.6% vs iGniter, 41.0% vs MIG-serving; "
+        "iGniter cannot run S5/S6"
+    )
+    return result

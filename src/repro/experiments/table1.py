@@ -1,0 +1,45 @@
+"""Table I — qualitative comparison of spatial GPU-sharing solutions."""
+
+from __future__ import annotations
+
+from repro.baselines.base import TABLE_I
+from repro.experiments.registry import ExperimentResult
+
+
+def _mark(v: object) -> str:
+    if v is True:
+        return "yes"
+    if v is False:
+        return "no"
+    if v is None:
+        return "N/A"
+    return str(v)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Comparison of spatial GPU sharing solutions for inference servers",
+        columns=(
+            "framework",
+            "MPS",
+            "MIG",
+            "slack prevention",
+            "frag prevention",
+            "spatial scheduling",
+            "high request rate",
+            "overhead",
+        ),
+    )
+    for cap in TABLE_I:
+        result.add(
+            cap.name,
+            _mark(cap.mps_support),
+            _mark(cap.mig_support),
+            _mark(cap.internal_slack_prevention),
+            _mark(cap.external_fragmentation_prevention),
+            _mark(cap.spatial_scheduling),
+            _mark(cap.high_request_rate_support),
+            cap.scheduling_overhead,
+        )
+    return result

@@ -1,0 +1,27 @@
+"""Table IV — the six scenarios (rates and SLOs per workload)."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult
+from repro.models.zoo import TABLE_IV_ORDER
+from repro.scenarios.table4 import SCENARIO_NAMES, SCENARIOS
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table4",
+        title="Six scenarios from eleven DNN inference models",
+        columns=("scenario", "metric", *TABLE_IV_ORDER),
+    )
+    for name in SCENARIO_NAMES:
+        sc = SCENARIOS[name]
+        rates: list[object] = []
+        lats: list[object] = []
+        for model in TABLE_IV_ORDER:
+            load = sc.load_for(model)
+            rates.append(None if load is None else round(load.request_rate))
+            lats.append(None if load is None else round(load.slo_latency_ms))
+        result.add(name, "rate", *rates)
+        result.add(name, "latency", *lats)
+    result.notes.append("rates in requests/s, SLO latencies in ms; N/A cells absent in S1")
+    return result

@@ -1,0 +1,56 @@
+"""Simulated NVIDIA A100/H100 GPU substrate: MIG partitioning + MPS sharing.
+
+This package reproduces the *mechanical* behaviour of the hardware layer the
+paper runs on:
+
+- :mod:`repro.gpu.slices`   -- GPC slice bitmask arithmetic.
+- :mod:`repro.gpu.mig`      -- MIG instance profiles, placement rules, and the
+  19 legal A100 configurations of the paper's Figure 1.
+- :mod:`repro.gpu.gpu`      -- a single GPU: 7 GPC slots, instance lifecycle.
+- :mod:`repro.gpu.mps`      -- the MPS control daemon attached to an instance.
+- :mod:`repro.gpu.memory`   -- per-instance framebuffer capacity and OOM checks.
+- :mod:`repro.gpu.telemetry`-- DCGM-style SM-activity accounting (Eq. 3 input).
+- :mod:`repro.gpu.cluster`  -- a multi-GPU cluster with reconfiguration diffs.
+
+Only the *structure* of MIG/MPS is modelled here; the performance of code
+running on an instance lives in :mod:`repro.models.perf`.
+"""
+
+from repro.gpu.mig import (
+    INSTANCE_SIZES,
+    InstanceProfile,
+    MigLayout,
+    PROFILES,
+    PlacedInstance,
+    enumerate_configurations,
+    legal_starts,
+    occupied_mask,
+)
+from repro.gpu.gpu import GPU, GPUError, NUM_SLICES
+from repro.gpu.mps import MPSContext, MPSError
+from repro.gpu.memory import MemoryError_, instance_memory_gb, fits_in_memory
+from repro.gpu.telemetry import SMActivityTracker, ActivitySample
+from repro.gpu.cluster import Cluster, ReconfigurationPlan
+
+__all__ = [
+    "INSTANCE_SIZES",
+    "InstanceProfile",
+    "MigLayout",
+    "PROFILES",
+    "PlacedInstance",
+    "enumerate_configurations",
+    "legal_starts",
+    "occupied_mask",
+    "GPU",
+    "GPUError",
+    "NUM_SLICES",
+    "MPSContext",
+    "MPSError",
+    "MemoryError_",
+    "instance_memory_gb",
+    "fits_in_memory",
+    "SMActivityTracker",
+    "ActivitySample",
+    "Cluster",
+    "ReconfigurationPlan",
+]

@@ -1,0 +1,83 @@
+"""MIG-capable GPU generations (the paper's Discussion section).
+
+"All NVIDIA GPUs adopting MIG across the Ampere, Hopper, and latest
+Blackwell architectures maintain identical MIG configurations" — the 19
+layouts and slot rules of :mod:`repro.gpu.mig` are generation-invariant;
+what changes is the framebuffer behind each instance size.  This module
+captures those memory maps so the feasibility of spatial sharing (notably
+the Discussion's LLM argument: a 7 GB LLaMA fits a 1g slice of an H200 but
+not of an A100-40GB) can be studied quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.mig import INSTANCE_SIZES
+
+
+@dataclass(frozen=True)
+class GPUGeneration:
+    """One MIG-capable GPU model."""
+
+    name: str
+    architecture: str
+    total_memory_gb: int
+    memory_map: dict[int, float]  #: instance size -> framebuffer GB
+
+    def __post_init__(self) -> None:
+        if set(self.memory_map) != set(INSTANCE_SIZES):
+            raise ValueError(f"{self.name}: memory map must cover {INSTANCE_SIZES}")
+        if self.memory_map[7] != self.total_memory_gb:
+            raise ValueError(f"{self.name}: 7-GPC instance owns the whole board")
+
+    def instance_memory_gb(self, size: int) -> float:
+        try:
+            return self.memory_map[size]
+        except KeyError:
+            raise ValueError(f"no MIG profile of size {size}") from None
+
+    def feasible_sizes(self, required_gb: float) -> tuple[int, ...]:
+        """Instance sizes whose framebuffer fits ``required_gb``."""
+        return tuple(
+            s for s in INSTANCE_SIZES if self.memory_map[s] >= required_gb
+        )
+
+
+def _gen(name: str, arch: str, total: int, per_slice: float) -> GPUGeneration:
+    return GPUGeneration(
+        name=name,
+        architecture=arch,
+        total_memory_gb=total,
+        memory_map={
+            1: per_slice,
+            2: 2 * per_slice,
+            3: 4 * per_slice,  # 3-GPC instances own 4 memory slices
+            4: 4 * per_slice,
+            7: float(total),
+        },
+    )
+
+
+#: The MIG-capable generations named in the paper (SII-B + Discussion).
+GENERATIONS: dict[str, GPUGeneration] = {
+    g.name: g
+    for g in (
+        _gen("a100-40gb", "ampere", 40, 5.0),
+        _gen("a100-80gb", "ampere", 80, 10.0),
+        _gen("h100-80gb", "hopper", 80, 10.0),
+        _gen("h200-141gb", "hopper", 141, 141 / 8),
+        _gen("b200-192gb", "blackwell", 192, 24.0),
+    )
+}
+
+#: The evaluation's hardware (p4de.24xlarge => A100-80GB).
+DEFAULT_GENERATION = "a100-80gb"
+
+
+def get_generation(name: str) -> GPUGeneration:
+    try:
+        return GENERATIONS[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(GENERATIONS))
+        raise KeyError(f"unknown GPU generation {name!r}; known: {known}") from None

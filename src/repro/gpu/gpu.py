@@ -1,0 +1,185 @@
+"""A single MIG-capable GPU: seven GPC slots plus instance lifecycle.
+
+A :class:`GPU` owns a :class:`~repro.gpu.mig.MigLayout` and associates every
+placed instance with an owner tag (a service id in the scheduler layers) and
+an :class:`~repro.gpu.mps.MPSContext`.  The class is purely mechanical: it
+enforces MIG legality but applies *no placement policy* — slot-preference
+logic lives in the Segment Allocator where the paper specifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.gpu.mig import (
+    INSTANCE_SIZES,
+    MigLayout,
+    PlacedInstance,
+    legal_starts,
+    occupied_mask,
+)
+from repro.gpu.mps import MPSContext
+from repro.gpu.slices import (
+    FULL_MASK,
+    NUM_SLICES,
+    largest_free_run,
+    popcount,
+    slice_indices,
+)
+
+#: SMs per GPC on GA100 (108 SMs / 7 GPCs is not integral on the real die;
+#: the A100 exposes 98 usable SMs under MIG = 14 per GPC slice, which is the
+#: number DCGM-style accounting needs).
+SMS_PER_GPC = 14
+
+#: Usable SMs on a fully-MIG-partitioned A100.
+SMS_PER_GPU = SMS_PER_GPC * NUM_SLICES
+
+
+class GPUError(RuntimeError):
+    """Raised on illegal instance operations."""
+
+
+@dataclass
+class Instance:
+    """A live MIG instance on a specific GPU."""
+
+    placed: PlacedInstance
+    owner: Optional[str] = None  #: service id occupying the instance
+    mps: MPSContext = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mps is None:
+            self.mps = MPSContext()
+
+    @property
+    def size(self) -> int:
+        return self.placed.size
+
+    @property
+    def start(self) -> int:
+        return self.placed.start
+
+    @property
+    def sm_count(self) -> int:
+        return self.placed.size * SMS_PER_GPC
+
+
+class GPU:
+    """One MIG-enabled A100-class GPU."""
+
+    def __init__(self, gpu_id: int) -> None:
+        self.gpu_id = gpu_id
+        self._layout = MigLayout()
+        self._instances: list[Instance] = []
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def instances(self) -> tuple[Instance, ...]:
+        return tuple(self._instances)
+
+    @property
+    def layout(self) -> MigLayout:
+        return self._layout
+
+    @property
+    def occupied_mask(self) -> int:
+        return self._layout.mask
+
+    @property
+    def used_gpcs(self) -> int:
+        """GPCs of compute allocated to instances (excludes blocked slices)."""
+        return self._layout.used_gpcs
+
+    @property
+    def free_gpcs(self) -> int:
+        """Slices neither occupied nor blocked."""
+        return NUM_SLICES - popcount(self._layout.mask)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._instances
+
+    def free_slice_indices(self) -> tuple[int, ...]:
+        return slice_indices(FULL_MASK & ~self._layout.mask)
+
+    def largest_free_run(self) -> int:
+        return largest_free_run(self._layout.mask)
+
+    def can_place(self, size: int, start: Optional[int] = None) -> bool:
+        """Whether an instance of ``size`` fits (at ``start`` or anywhere)."""
+        starts = (start,) if start is not None else legal_starts(size)
+        return any(
+            s in legal_starts(size) and self._layout.can_add(size, s)
+            for s in starts
+        )
+
+    def feasible_starts(self, size: int) -> tuple[int, ...]:
+        """All start slots currently legal for an instance of ``size``."""
+        return tuple(
+            s for s in legal_starts(size) if self._layout.can_add(size, s)
+        )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def create_instance(
+        self, size: int, start: int, owner: Optional[str] = None
+    ) -> Instance:
+        """Create a MIG instance; raises :class:`GPUError` when illegal."""
+        if size not in INSTANCE_SIZES:
+            raise GPUError(f"no MIG profile of size {size}")
+        if start not in legal_starts(size):
+            raise GPUError(f"size-{size} instance may not start at slot {start}")
+        if not self._layout.can_add(size, start):
+            raise GPUError(
+                f"GPU {self.gpu_id}: slices "
+                f"{slice_indices(occupied_mask(size, start))} not free"
+            )
+        placed = PlacedInstance(size, start)
+        self._layout.add(placed)
+        inst = Instance(placed=placed, owner=owner)
+        self._instances.append(inst)
+        return inst
+
+    def destroy_instance(self, inst: Instance) -> None:
+        """Tear an instance down, freeing its slices."""
+        try:
+            self._instances.remove(inst)
+        except ValueError:
+            raise GPUError(
+                f"instance {inst.placed} does not live on GPU {self.gpu_id}"
+            ) from None
+        inst.mps.terminate_all()
+        self._layout.remove(inst.placed)
+
+    def destroy_all(self) -> None:
+        for inst in list(self._instances):
+            self.destroy_instance(inst)
+
+    def instances_of(self, owner: str) -> tuple[Instance, ...]:
+        return tuple(i for i in self._instances if i.owner == owner)
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> tuple[tuple[int, int, Optional[str]], ...]:
+        """Hashable ``(start, size, owner)`` description, sorted by start."""
+        return tuple(
+            sorted((i.start, i.size, i.owner) for i in self._instances)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ",".join(f"{i.size}@{i.start}" for i in self._instances)
+        return f"GPU({self.gpu_id}: {body or 'empty'})"
+
+
+def total_sms(gpus: Iterable[GPU]) -> int:
+    """Aggregate usable SM count of a set of GPUs."""
+    return sum(SMS_PER_GPU for _ in gpus)

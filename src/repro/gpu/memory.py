@@ -1,0 +1,44 @@
+"""Framebuffer capacity model and out-of-memory checks.
+
+MIG statically partitions the A100's HBM alongside its GPCs; each instance
+size owns a fixed framebuffer (SII-B of the paper).  The profiler uses
+:func:`fits_in_memory` to drop (batch, procs) points that would OOM on real
+hardware — those points are absent from Figure 3/4 for the same reason.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.mig import MEMORY_GB, INSTANCE_SIZES
+
+
+class MemoryError_(RuntimeError):
+    """Raised when a workload cannot fit in an instance's framebuffer.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+def instance_memory_gb(size: int) -> int:
+    """Framebuffer capacity (GB) of an instance of ``size`` GPCs."""
+    try:
+        return MEMORY_GB[size]
+    except KeyError:
+        raise ValueError(
+            f"no MIG profile of size {size}; sizes are {INSTANCE_SIZES}"
+        ) from None
+
+
+def fits_in_memory(required_gb: float, size: int) -> bool:
+    """Whether ``required_gb`` of workload state fits an instance of ``size``."""
+    if required_gb < 0:
+        raise ValueError("memory requirement must be non-negative")
+    return required_gb <= instance_memory_gb(size)
+
+
+def check_fits(required_gb: float, size: int) -> None:
+    """Raise :class:`MemoryError_` when the workload would OOM."""
+    if not fits_in_memory(required_gb, size):
+        raise MemoryError_(
+            f"workload needs {required_gb:.1f} GB but a "
+            f"{instance_memory_gb(size)} GB (size-{size}) instance was given"
+        )

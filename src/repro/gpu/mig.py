@@ -1,0 +1,249 @@
+"""MIG instance profiles, placement legality, and the 19 A100 configurations.
+
+The paper's Figure 1 lists the 19 instance combinations an A100/H100 admits
+when MIG is enabled.  The combinatorial structure behind that table is:
+
+* instances come in sizes 1, 2, 3, 4 and 7 GPCs (5 and 6 do not exist);
+* each size may only *start* at certain slices (its "slots"):
+
+  ====  ==================  =============================================
+  size  legal start slots    note
+  ====  ==================  =============================================
+  7     0                   whole GPU
+  4     0                   occupies slices 0-3
+  3     0 or 4              a size-3 at slot 0 additionally *blocks*
+                            slice 3 (paper SIII-E1: "placing a size 3
+                            segment in slot 0 prevents the allocation of
+                            a size 1 segment in slot 3")
+  2     0, 2, 4 (and 5)     slot 5 is the paper's extension; the
+                            canonical Figure-1 enumeration uses 0/2/4
+  1     0-6                 any slice
+  ====  ==================  =============================================
+
+``enumerate_configurations()`` regenerates Figure 1 exactly: the 18 maximal
+layouts composed from the lower region (slices 0-3) and the upper region
+(slices 4-6), plus the full-GPU size-7 layout, i.e. 19 configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.gpu.slices import NUM_SLICES, popcount, range_mask, slice_indices
+
+#: Instance sizes that exist on A100/H100-class hardware, ascending.
+INSTANCE_SIZES: tuple[int, ...] = (1, 2, 3, 4, 7)
+
+#: Framebuffer capacity (GB) of each instance size on an 80 GB A100
+#: (paper SII-B: "instances with 10, 20, 40, 40, 80GB of GPU memory").
+MEMORY_GB: dict[int, int] = {1: 10, 2: 20, 3: 40, 4: 40, 7: 80}
+
+#: MIG profile names as ``nvidia-smi`` would print them for an A100-80GB.
+PROFILE_NAMES: dict[int, str] = {
+    1: "1g.10gb",
+    2: "2g.20gb",
+    3: "3g.40gb",
+    4: "4g.40gb",
+    7: "7g.80gb",
+}
+
+#: Start slots allowed by the canonical (NVIDIA-documented) placement rules.
+_CANONICAL_STARTS: dict[int, tuple[int, ...]] = {
+    7: (0,),
+    4: (0,),
+    3: (0, 4),
+    2: (0, 2, 4),
+    1: (0, 1, 2, 3, 4, 5, 6),
+}
+
+#: Start slots under the paper's extended rule set (size 2 may also start at
+#: slot 5, occupying slices 5-6).  The Segment Allocator uses these.
+_EXTENDED_STARTS: dict[int, tuple[int, ...]] = {
+    7: (0,),
+    4: (0,),
+    3: (0, 4),
+    2: (0, 2, 4, 5),
+    1: (0, 1, 2, 3, 4, 5, 6),
+}
+
+
+@dataclass(frozen=True)
+class InstanceProfile:
+    """Immutable description of one MIG instance size."""
+
+    size: int  #: number of GPC slices of compute
+    memory_gb: int  #: framebuffer capacity
+    name: str  #: ``nvidia-smi`` style profile name
+
+    def __post_init__(self) -> None:
+        if self.size not in INSTANCE_SIZES:
+            raise ValueError(f"no MIG profile of size {self.size}")
+
+
+#: Profile lookup by size.
+PROFILES: dict[int, InstanceProfile] = {
+    s: InstanceProfile(size=s, memory_gb=MEMORY_GB[s], name=PROFILE_NAMES[s])
+    for s in INSTANCE_SIZES
+}
+
+
+def legal_starts(size: int, extended: bool = True) -> tuple[int, ...]:
+    """Start slots where an instance of ``size`` GPCs may be created.
+
+    ``extended=True`` (default) applies the paper's allocator rules, which
+    additionally allow a size-2 instance at slot 5.  ``extended=False`` gives
+    the canonical rule set used to enumerate Figure 1.
+    """
+    table = _EXTENDED_STARTS if extended else _CANONICAL_STARTS
+    try:
+        return table[size]
+    except KeyError:
+        raise ValueError(f"no MIG profile of size {size}") from None
+
+
+def occupied_mask(size: int, start: int) -> int:
+    """Slice bitmask an instance *occupies plus blocks* at ``start``.
+
+    A size-3 instance at slot 0 occupies slices 0-2 **and blocks slice 3**
+    (configurations 5-7 of Figure 1 make slice 3 unusable in that case), so
+    its mask covers slices 0-3.  Everything else occupies exactly
+    ``[start, start+size)``.
+    """
+    if size == 3 and start == 0:
+        return range_mask(0, 4)
+    return range_mask(start, size)
+
+
+@dataclass(frozen=True)
+class PlacedInstance:
+    """An instance size pinned to a start slot."""
+
+    size: int
+    start: int
+
+    def __post_init__(self) -> None:
+        if self.size not in INSTANCE_SIZES:
+            raise ValueError(f"no MIG profile of size {self.size}")
+        if self.start not in legal_starts(self.size, extended=True):
+            raise ValueError(
+                f"size-{self.size} instance may not start at slot {self.start}"
+            )
+
+    @property
+    def mask(self) -> int:
+        """Occupied+blocked slice bitmask."""
+        return occupied_mask(self.size, self.start)
+
+    @property
+    def profile(self) -> InstanceProfile:
+        return PROFILES[self.size]
+
+    @property
+    def slices(self) -> tuple[int, ...]:
+        return slice_indices(self.mask)
+
+
+class MigLayout:
+    """A set of non-overlapping placed instances on one GPU.
+
+    The layout is the *shape* of a MIG partitioning; it knows nothing about
+    which service runs where (that is :class:`repro.gpu.gpu.GPU`'s job).
+    """
+
+    __slots__ = ("_instances", "_mask")
+
+    def __init__(self, instances: Iterable[PlacedInstance] = ()) -> None:
+        self._instances: list[PlacedInstance] = []
+        self._mask = 0
+        for inst in instances:
+            self.add(inst)
+
+    @property
+    def instances(self) -> tuple[PlacedInstance, ...]:
+        return tuple(self._instances)
+
+    @property
+    def mask(self) -> int:
+        """Union of occupied+blocked slices."""
+        return self._mask
+
+    @property
+    def used_gpcs(self) -> int:
+        """Total GPCs of *compute* allocated (blocked slices don't count)."""
+        return sum(i.size for i in self._instances)
+
+    def can_add(self, size: int, start: int, extended: bool = True) -> bool:
+        """Whether an instance of ``size`` can be created at ``start``."""
+        if size not in INSTANCE_SIZES:
+            return False
+        if start not in legal_starts(size, extended=extended):
+            return False
+        return not self._mask & occupied_mask(size, start)
+
+    def add(self, inst: PlacedInstance) -> None:
+        if self._mask & inst.mask:
+            raise ValueError(f"{inst} overlaps existing instances")
+        self._instances.append(inst)
+        self._mask |= inst.mask
+
+    def remove(self, inst: PlacedInstance) -> None:
+        self._instances.remove(inst)
+        self._mask = 0
+        for other in self._instances:
+            self._mask |= other.mask
+
+    def sizes(self) -> tuple[int, ...]:
+        """Instance sizes in this layout, descending (Figure-1 row style)."""
+        return tuple(sorted((i.size for i in self._instances), reverse=True))
+
+    def signature(self) -> tuple[tuple[int, int], ...]:
+        """Canonical ``(start, size)`` tuple — hashable layout identity."""
+        return tuple(sorted((i.start, i.size) for i in self._instances))
+
+    def is_maximal(self, extended: bool = False) -> bool:
+        """True when no further instance of any size can be added."""
+        for size in INSTANCE_SIZES:
+            for start in legal_starts(size, extended=extended):
+                if self.can_add(size, start, extended=extended):
+                    return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = "+".join(str(s) for s in self.sizes()) or "empty"
+        return f"MigLayout({parts})"
+
+
+def enumerate_configurations() -> list[MigLayout]:
+    """Regenerate the 19 legal A100 MIG configurations of Figure 1.
+
+    Enumerates every maximal layout under the canonical placement rules via
+    depth-first search over start slots, deduplicated by signature.  The
+    result is sorted largest-instance-first to match the paper's ordering
+    (config 1 = one size-7 instance ... config 19 = seven size-1 instances).
+    """
+    seen: set[tuple[tuple[int, int], ...]] = set()
+    results: list[MigLayout] = []
+
+    def dfs(layout: MigLayout) -> None:
+        extended = False
+        if layout.is_maximal(extended=extended):
+            sig = layout.signature()
+            if sig not in seen:
+                seen.add(sig)
+                results.append(MigLayout(layout.instances))
+            return
+        for size in sorted(INSTANCE_SIZES, reverse=True):
+            for start in legal_starts(size, extended=extended):
+                if layout.can_add(size, start, extended=extended):
+                    inst = PlacedInstance(size, start)
+                    layout.add(inst)
+                    dfs(layout)
+                    layout.remove(inst)
+
+    dfs(MigLayout())
+    results.sort(key=lambda l: tuple(-s for s in l.sizes()))
+    return results

@@ -1,0 +1,107 @@
+"""MPS (Multi-Process Service) control daemon model.
+
+ParvaGPU enables MPS *inside* each MIG instance and launches several
+processes of the *same* workload there (a "GPU segment").  Because the
+co-located processes are homogeneous, no cross-workload interference model
+is needed — only process bookkeeping and the active-thread-percentage quota
+MPS exposes since Volta.
+
+The MPS-only baselines (gpulet, iGniter) instead run *heterogeneous*
+workloads under one MPS daemon on a whole GPU; for those, the quota is a
+fraction of the full GPU and interference comes from
+:mod:`repro.models.interference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class MPSError(RuntimeError):
+    """Raised on invalid MPS daemon operations."""
+
+
+#: ParvaGPU's profiler caps process count at three (SIII-C), chiefly to bound
+#: framebuffer pressure; we keep the cap in the daemon model so that property
+#: tests can assert the profiler never requests more.
+MAX_PROCESSES_PER_SEGMENT = 3
+
+
+@dataclass
+class MPSProcess:
+    """One CUDA client process registered with the daemon."""
+
+    pid: int
+    workload: str
+    active_thread_pct: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.active_thread_pct <= 100.0:
+            raise MPSError(
+                f"active thread percentage must be in (0, 100], got "
+                f"{self.active_thread_pct}"
+            )
+
+
+@dataclass
+class MPSContext:
+    """An MPS daemon bound to one MIG instance (or a whole GPU).
+
+    Tracks registered client processes and enforces the homogeneity rule
+    when ``homogeneous_only`` is set (ParvaGPU segments) as well as the
+    aggregate active-thread quota when one is configured (MPS-percentage
+    baselines).
+    """
+
+    homogeneous_only: bool = True
+    max_processes: int = MAX_PROCESSES_PER_SEGMENT
+    _processes: list[MPSProcess] = field(default_factory=list)
+    _next_pid: int = 1
+
+    @property
+    def processes(self) -> tuple[MPSProcess, ...]:
+        return tuple(self._processes)
+
+    @property
+    def num_processes(self) -> int:
+        return len(self._processes)
+
+    @property
+    def workloads(self) -> tuple[str, ...]:
+        """Distinct workload names currently registered, sorted."""
+        return tuple(sorted({p.workload for p in self._processes}))
+
+    def launch(self, workload: str, active_thread_pct: float = 100.0) -> MPSProcess:
+        """Register a new client process for ``workload``."""
+        if len(self._processes) >= self.max_processes:
+            raise MPSError(
+                f"MPS daemon already hosts {self.max_processes} processes"
+            )
+        if (
+            self.homogeneous_only
+            and self._processes
+            and any(p.workload != workload for p in self._processes)
+        ):
+            raise MPSError(
+                "this daemon only accepts homogeneous workloads "
+                f"({self._processes[0].workload!r}), got {workload!r}"
+            )
+        proc = MPSProcess(self._next_pid, workload, active_thread_pct)
+        self._next_pid += 1
+        self._processes.append(proc)
+        return proc
+
+    def terminate(self, pid: int) -> None:
+        """Deregister the process with ``pid``."""
+        for i, p in enumerate(self._processes):
+            if p.pid == pid:
+                del self._processes[i]
+                return
+        raise MPSError(f"no MPS client with pid {pid}")
+
+    def terminate_all(self) -> None:
+        self._processes.clear()
+
+    def total_active_thread_pct(self) -> float:
+        """Sum of client quotas (may legitimately exceed 100)."""
+        return sum(p.active_thread_pct for p in self._processes)

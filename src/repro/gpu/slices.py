@@ -1,0 +1,87 @@
+"""GPC slice bitmask arithmetic.
+
+An A100-class GPU exposes seven GPC slices (numbered 0..6).  Everything in the
+MIG layer reasons about *which slices an instance occupies or blocks*, so we
+represent slice sets as 7-bit integers: bit ``i`` set means slice ``i`` is in
+the set.  Bitmasks keep the allocator's inner loops allocation-free and make
+property-based testing of layout legality cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+NUM_SLICES = 7
+FULL_MASK = (1 << NUM_SLICES) - 1  # 0b1111111
+
+
+def mask_of(slices: Sequence[int]) -> int:
+    """Build a bitmask from an iterable of slice indices.
+
+    >>> bin(mask_of([0, 2, 3]))
+    '0b1101'
+    """
+    m = 0
+    for s in slices:
+        if not 0 <= s < NUM_SLICES:
+            raise ValueError(f"slice index {s} out of range 0..{NUM_SLICES - 1}")
+        m |= 1 << s
+    return m
+
+
+def range_mask(start: int, length: int) -> int:
+    """Bitmask of ``length`` contiguous slices beginning at ``start``."""
+    if start < 0 or length < 0 or start + length > NUM_SLICES:
+        raise ValueError(f"range [{start}, {start + length}) outside 0..{NUM_SLICES}")
+    return ((1 << length) - 1) << start
+
+
+def slice_indices(mask: int) -> tuple[int, ...]:
+    """The slice indices present in ``mask``, ascending."""
+    return tuple(i for i in range(NUM_SLICES) if mask >> i & 1)
+
+
+def popcount(mask: int) -> int:
+    """Number of slices in ``mask``."""
+    return (mask & FULL_MASK).bit_count()
+
+
+def overlaps(a: int, b: int) -> bool:
+    """True when the two slice sets intersect."""
+    return bool(a & b)
+
+
+def is_subset(a: int, b: int) -> bool:
+    """True when every slice in ``a`` is also in ``b``."""
+    return a & ~b == 0
+
+
+def free_slices(occupied: int) -> tuple[int, ...]:
+    """Indices of slices *not* present in ``occupied``."""
+    return slice_indices(FULL_MASK & ~occupied)
+
+
+def iter_runs(mask: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, length)`` for each maximal run of set bits in ``mask``.
+
+    Useful for reasoning about contiguous free space (external fragmentation
+    at the single-GPU granularity).
+    """
+    i = 0
+    while i < NUM_SLICES:
+        if mask >> i & 1:
+            j = i
+            while j < NUM_SLICES and mask >> j & 1:
+                j += 1
+            yield i, j - i
+            i = j
+        else:
+            i += 1
+
+
+def largest_free_run(occupied: int) -> int:
+    """Length of the largest contiguous free run given ``occupied`` slices."""
+    best = 0
+    for _, length in iter_runs(FULL_MASK & ~occupied):
+        best = max(best, length)
+    return best

@@ -1,0 +1,79 @@
+"""DCGM-style SM-activity accounting.
+
+The paper's Eq. 3 defines internal slack from *SM activity*: a kernel using
+all ``M`` SMs of its partition for the whole interval scores 1.0; one using
+``M/5`` blocks, or all ``M`` for a fifth of the time, scores 0.2.  The
+discrete-event simulator reports exact busy SM-time per segment; this module
+turns those reports into activity ratios the metrics layer consumes —
+exactly what ``DCGM_FI_PROF_SM_ACTIVE`` approximates on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ActivitySample:
+    """SM activity of one segment over an observation window."""
+
+    segment_key: str  #: opaque id (service/gpu/instance) chosen by the caller
+    sm_count: int  #: SMs allocated to the segment
+    busy_sm_time: float  #: integral of (active SMs x time), SM-seconds
+    window: float  #: observation window length, seconds
+
+    @property
+    def activity(self) -> float:
+        """Fraction of the allocated SM-time that was busy, in [0, 1]."""
+        if self.window <= 0 or self.sm_count <= 0:
+            return 0.0
+        return min(1.0, self.busy_sm_time / (self.sm_count * self.window))
+
+
+@dataclass
+class SMActivityTracker:
+    """Accumulates busy SM-time per segment during a simulation run."""
+
+    window_start: float = 0.0
+    _busy: dict[str, float] = field(default_factory=dict)
+    _sm_counts: dict[str, int] = field(default_factory=dict)
+
+    def register(self, segment_key: str, sm_count: int) -> None:
+        """Declare a segment and its SM allocation before recording."""
+        if sm_count <= 0:
+            raise ValueError("segment must own at least one SM")
+        self._sm_counts[segment_key] = sm_count
+        self._busy.setdefault(segment_key, 0.0)
+
+    def record_busy(
+        self, segment_key: str, duration: float, active_fraction: float = 1.0
+    ) -> None:
+        """Add ``duration`` seconds of kernel time at ``active_fraction`` occupancy."""
+        if segment_key not in self._sm_counts:
+            raise KeyError(f"segment {segment_key!r} was never registered")
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if not 0.0 <= active_fraction <= 1.0:
+            raise ValueError("active_fraction must be in [0, 1]")
+        self._busy[segment_key] += (
+            duration * active_fraction * self._sm_counts[segment_key]
+        )
+
+    def sample(self, segment_key: str, now: float) -> ActivitySample:
+        """Snapshot one segment's activity over ``[window_start, now]``."""
+        return ActivitySample(
+            segment_key=segment_key,
+            sm_count=self._sm_counts[segment_key],
+            busy_sm_time=self._busy[segment_key],
+            window=now - self.window_start,
+        )
+
+    def samples(self, now: float) -> list[ActivitySample]:
+        """Snapshots for every registered segment."""
+        return [self.sample(key, now) for key in sorted(self._sm_counts)]
+
+    def reset(self, now: float = 0.0) -> None:
+        """Start a fresh observation window at time ``now``."""
+        self.window_start = now
+        for key in self._busy:
+            self._busy[key] = 0.0

@@ -1,0 +1,14 @@
+"""Evaluation metrics: Eq. 3 internal slack, Eq. 4 external fragmentation."""
+
+from repro.metrics.slack import internal_slack, segment_activity
+from repro.metrics.fragmentation import external_fragmentation, raw_fragmentation
+from repro.metrics.delay import log_ms, timed_call
+
+__all__ = [
+    "internal_slack",
+    "segment_activity",
+    "external_fragmentation",
+    "raw_fragmentation",
+    "log_ms",
+    "timed_call",
+]

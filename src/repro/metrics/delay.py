@@ -1,0 +1,23 @@
+"""Scheduling-delay helpers (Figs. 9/11 plot log10 of milliseconds)."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+def log_ms(delay_ms: float) -> float:
+    """The paper's Fig. 9/11 y-axis: log10(milliseconds)."""
+    if delay_ms <= 0:
+        raise ValueError("delay must be positive")
+    return math.log10(delay_ms)
+
+
+def timed_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` returning (result, wall-clock milliseconds)."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, (time.perf_counter() - t0) * 1e3

@@ -1,0 +1,63 @@
+"""GPU internal slack — Eq. 3 of the paper.
+
+::
+
+    slack = 1 - sum_i(SM_i * A_i) / sum_i(SM_i)
+
+``SM_i`` is the SM allocation of partition ``i`` and ``A_i`` its measured
+SM activity.  Activity can come from the discrete-event simulator's DCGM
+tracker, or (for the fast analytic path) from the profiled operating-point
+activity scaled by the partition's load fraction: a partition saturating
+``a`` of its SM-time at full load, serving only fraction ``f`` of its
+capacity, shows ``a*f`` activity — both spatial and temporal
+underutilization count, exactly as DCGM's SM-activity counter behaves.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.placement import Placement
+
+
+def segment_activity(
+    sm_activity_at_full_load: float, load_fraction: float
+) -> float:
+    """Observed SM activity of a partition under partial load."""
+    if not 0.0 <= sm_activity_at_full_load <= 1.0:
+        raise ValueError("activity must be in [0, 1]")
+    if load_fraction < 0.0:
+        raise ValueError("load fraction must be non-negative")
+    return sm_activity_at_full_load * min(1.0, load_fraction)
+
+
+def internal_slack(
+    placement: Placement,
+    measured_activity: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Eq. 3 over a placement, in [0, 1].
+
+    ``measured_activity`` optionally maps ``"gpu<i>/<service>/<k>"`` keys
+    (as produced by the simulator) to DCGM-style activities; without it the
+    analytic load-scaled profile activity is used.
+    """
+    weighted = 0.0
+    total = 0.0
+    for gpu_id, seg in placement.iter_segments():
+        if measured_activity is not None:
+            key = _segment_key(gpu_id, seg.service_id, seg.start)
+            activity = measured_activity.get(key)
+            if activity is None:
+                raise KeyError(f"no measured activity for segment {key!r}")
+        else:
+            activity = segment_activity(seg.sm_activity, seg.load_fraction)
+        weighted += seg.sm_count * activity
+        total += seg.sm_count
+    if total == 0:
+        return 0.0
+    return 1.0 - weighted / total
+
+
+def _segment_key(gpu_id: int, service_id: str, start: Optional[int]) -> str:
+    """Canonical segment key shared with the simulator's telemetry."""
+    return f"gpu{gpu_id}/{service_id}/{'mps' if start is None else start}"

@@ -1,0 +1,115 @@
+"""Cross-workload interference for heterogeneous MPS sharing.
+
+ParvaGPU never co-locates *different* workloads under one MPS daemon — MIG
+walls them off — so it needs no interference model.  The MPS-only baselines
+do: gpulet and iGniter put two or more different services on one GPU, where
+L2 and memory-bandwidth contention slow everyone down (SII-A of the paper,
+and the Prophet observation it cites).
+
+We model the slowdown a workload suffers as proportional to the co-runners'
+memory-bandwidth intensity::
+
+    slowdown_i = 1 + kappa * sum_{j != i} bw_intensity_j * f_j
+
+where ``f_j`` is co-runner ``j``'s share of the GPU.  This captures the two
+facts the baselines' behaviour depends on: interference grows with the
+co-runner's bandwidth appetite, and a bigger co-runner partition hurts more.
+
+gpulet *predicts* interference from pairwise profiling and its prediction
+carries error (the paper attributes gpulet's S2 SLO violations to exactly
+this).  :class:`InterferenceOracle` exposes both the ground truth used by
+the simulator and a deterministically-perturbed prediction used by the
+gpulet scheduler, so the scheduler can genuinely under-provision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.models.zoo import ModelSpec
+
+#: Strength of bandwidth-driven MPS interference.  0.45 means a co-runner
+#: with bw_intensity 0.8 occupying the whole rest of the GPU inflates a
+#: bandwidth-sensitive victim's latency by ~30%, the upper end of the
+#: contention ranges reported by Prophet/iGniter — and just beyond the 10%
+#: budget gpulet sizes against, so its worst mispredicted pairs overload.
+DEFAULT_KAPPA = 0.45
+
+
+@dataclass(frozen=True)
+class Corunner:
+    """A co-located workload and its share of the GPU's SMs."""
+
+    spec: ModelSpec
+    share: float  #: fraction of the GPU's SMs, in (0, 1]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"share must be in (0, 1], got {self.share}")
+
+
+class InterferenceModel:
+    """Ground-truth heterogeneous-MPS slowdown."""
+
+    def __init__(self, kappa: float = DEFAULT_KAPPA):
+        if kappa < 0:
+            raise ValueError("kappa must be non-negative")
+        self.kappa = kappa
+
+    def slowdown(self, victim: ModelSpec, corunners: Sequence[Corunner]) -> float:
+        """Multiplicative latency factor suffered by ``victim`` (>= 1)."""
+        pressure = sum(
+            c.spec.bw_intensity * c.share
+            for c in corunners
+            if c.spec.name != victim.name
+        )
+        # The victim's own sensitivity scales with how bandwidth-hungry it is:
+        # compute-bound models hide contention better.
+        sensitivity = 0.5 + 0.5 * victim.bw_intensity
+        return 1.0 + self.kappa * sensitivity * pressure
+
+
+class InterferenceOracle:
+    """Ground truth + an error-prone predictor (gpulet's view of the world).
+
+    The prediction error is a deterministic pseudo-random perturbation in
+    ``[-max_error, +max_error]`` derived from the pair of model names, so
+    schedulers are reproducible while still being wrong about specific pairs
+    — negative values mean gpulet *underestimates* interference and may
+    violate SLOs, exactly the S2 failure the paper reports.
+    """
+
+    def __init__(self, kappa: float = DEFAULT_KAPPA, max_error: float = 0.35):
+        self.truth = InterferenceModel(kappa)
+        self.max_error = max_error
+
+    def actual_slowdown(
+        self, victim: ModelSpec, corunners: Sequence[Corunner]
+    ) -> float:
+        return self.truth.slowdown(victim, corunners)
+
+    def _pair_error(self, a: str, b: str) -> float:
+        digest = hashlib.sha256(f"{min(a, b)}|{max(a, b)}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64  # [0, 1)
+        return (2.0 * unit - 1.0) * self.max_error
+
+    def predicted_slowdown(
+        self, victim: ModelSpec, corunners: Sequence[Corunner]
+    ) -> float:
+        """gpulet's estimate: truth with the interference *term* perturbed."""
+        actual = self.truth.slowdown(victim, corunners)
+        if not corunners:
+            return actual
+        # Perturb the interference component (not the baseline 1.0) by the
+        # average pairwise error against the co-runner set.
+        errs = [
+            self._pair_error(victim.name, c.spec.name)
+            for c in corunners
+            if c.spec.name != victim.name
+        ]
+        if not errs:
+            return actual
+        err = sum(errs) / len(errs)
+        return 1.0 + (actual - 1.0) * (1.0 + err)

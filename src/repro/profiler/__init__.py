@@ -1,0 +1,6 @@
+"""The ParvaGPU Profiler (SIII-C) and its profile store."""
+
+from repro.profiler.table import ProfileEntry, ProfileTable
+from repro.profiler.profiler import Profiler, profile_workloads
+
+__all__ = ["ProfileEntry", "ProfileTable", "Profiler", "profile_workloads"]

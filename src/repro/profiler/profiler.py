@@ -1,0 +1,112 @@
+"""The Profiler of SIII-C.
+
+Sweeps each workload over instance sizes {1,2,3,4,7} x eight batch sizes
+(1..128, powers of two) x process counts {1,2,3}, recording throughput and
+latency and *omitting* operating points that would exhaust the instance's
+framebuffer — exactly the grid (and the OOM gaps) visible in Figures 3/4.
+
+On real hardware this step launches inference servers on reconfigured MIG
+instances; here each measurement is an :class:`~repro.models.perf.PerfModel`
+evaluation, optionally perturbed by a small deterministic measurement noise
+so that downstream algorithms cannot overfit to an exact analytic surface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.gpu.mig import INSTANCE_SIZES
+from repro.models.perf import (
+    PROFILE_BATCH_SIZES,
+    PROFILE_PROCESS_COUNTS,
+    PerfModel,
+)
+from repro.models.zoo import ModelSpec, WORKLOADS, get_model
+from repro.profiler.table import ProfileEntry, ProfileTable
+
+
+def _noise_factor(key: str, amplitude: float) -> float:
+    """Deterministic multiplicative noise in [1-amplitude, 1+amplitude]."""
+    digest = hashlib.sha256(key.encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / 2**64
+    return 1.0 + amplitude * (2.0 * unit - 1.0)
+
+
+@dataclass
+class Profiler:
+    """Produces :class:`ProfileTable` objects for registered services.
+
+    ``noise`` is the relative amplitude of simulated measurement jitter
+    (default 1%).  Zero gives the exact analytic surface, which the
+    calibration tests use.
+    """
+
+    instance_sizes: tuple[int, ...] = INSTANCE_SIZES
+    batch_sizes: tuple[int, ...] = PROFILE_BATCH_SIZES
+    process_counts: tuple[int, ...] = PROFILE_PROCESS_COUNTS
+    noise: float = 0.01
+    _cache: dict[str, ProfileTable] = field(default_factory=dict)
+
+    def profile(self, spec: ModelSpec) -> ProfileTable:
+        """Measure the full grid for one workload (cached)."""
+        if spec.name in self._cache:
+            return self._cache[spec.name]
+        perf = PerfModel(spec)
+        table = ProfileTable(spec.name)
+        for g in self.instance_sizes:
+            for b in self.batch_sizes:
+                for p in self.process_counts:
+                    if not perf.fits(g, b, p):
+                        continue  # OOM: point absent, as in Fig. 3/4
+                    point = perf.evaluate(g, b, p)
+                    lat = point.latency_ms * _noise_factor(
+                        f"{spec.name}/{g}/{b}/{p}/lat", self.noise
+                    )
+                    tp = point.throughput * _noise_factor(
+                        f"{spec.name}/{g}/{b}/{p}/tp", self.noise
+                    )
+                    table.add(
+                        ProfileEntry(
+                            model=spec.name,
+                            instance_size=g,
+                            batch_size=b,
+                            num_processes=p,
+                            latency_ms=lat,
+                            throughput=tp,
+                            memory_gb=point.memory_gb,
+                            sm_activity=point.sm_activity,
+                        )
+                    )
+        if not len(table):
+            raise RuntimeError(
+                f"{spec.name}: no feasible operating point fits any instance"
+            )
+        self._cache[spec.name] = table
+        return table
+
+    def profile_by_name(self, name: str) -> ProfileTable:
+        return self.profile(get_model(name))
+
+    def estimated_profiling_cost_s(self, spec: ModelSpec, per_point_s: float = 10.0) -> float:
+        """Rough wall-clock a real profiling run would take (for reports)."""
+        perf = PerfModel(spec)
+        n = sum(
+            1
+            for g in self.instance_sizes
+            for b in self.batch_sizes
+            for p in self.process_counts
+            if perf.fits(g, b, p)
+        )
+        return n * per_point_s
+
+
+def profile_workloads(
+    names: Iterable[str] | None = None, noise: float = 0.01
+) -> Mapping[str, ProfileTable]:
+    """Profile a set of workloads (default: the full Table-IV zoo)."""
+    profiler = Profiler(noise=noise)
+    selected = list(names) if names is not None else sorted(WORKLOADS)
+    return {name: profiler.profile_by_name(name) for name in selected}

@@ -1,0 +1,17 @@
+"""Evaluation scenarios: Table IV and the SIV-D scaling sweep."""
+
+from repro.scenarios.table4 import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_services,
+)
+from repro.scenarios.scaling import scaled_scenario
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "scenario_services",
+    "scaled_scenario",
+]

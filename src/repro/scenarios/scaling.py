@@ -1,0 +1,32 @@
+"""The SIV-D scaling sweep: S5 replicated 1..10-fold.
+
+"We incrementally increase the number of services in S5" — each
+multiplication factor ``k`` yields ``k`` copies of every S5 service
+(distinct service ids, same model/SLO/rate), simulating a cloud provider
+consolidating ever more tenants onto one fleet.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import Service
+from repro.scenarios.table4 import Scenario, get_scenario
+
+
+def scaled_scenario(factor: int, base: Scenario | str = "S5") -> list[Service]:
+    """``factor`` copies of every service of ``base`` (default S5)."""
+    if factor < 1:
+        raise ValueError("multiplication factor must be >= 1")
+    if isinstance(base, str):
+        base = get_scenario(base)
+    services: list[Service] = []
+    for k in range(factor):
+        for load in base.loads:
+            services.append(
+                Service(
+                    id=f"{load.model}#{k}" if factor > 1 else load.model,
+                    model=load.model,
+                    slo_latency_ms=load.slo_latency_ms,
+                    request_rate=load.request_rate,
+                )
+            )
+    return services

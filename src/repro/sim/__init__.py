@@ -1,0 +1,32 @@
+"""Discrete-event inference-cluster simulator.
+
+Replays a scenario's request traffic against a deployment map, reproducing
+the serving-time dynamics the paper measures on real A100s: Poisson
+arrivals, per-segment batch assembly with SLO-aware flush timeouts,
+concurrent MPS process execution, per-request latency accounting, and
+DCGM-style SM-activity telemetry.
+
+- :mod:`repro.sim.engine`   -- event heap and clock.
+- :mod:`repro.sim.arrivals` -- seeded Poisson request generators.
+- :mod:`repro.sim.batching` -- batch assembly policy.
+- :mod:`repro.sim.server`   -- segment servers (one per placed partition).
+- :mod:`repro.sim.metrics`  -- latency records, SLO compliance, activity.
+- :mod:`repro.sim.runner`   -- one-call simulation of a placement.
+"""
+
+from repro.sim.engine import EventQueue
+from repro.sim.arrivals import poisson_arrivals
+from repro.sim.batching import BatchPolicy
+from repro.sim.server import SegmentServer
+from repro.sim.metrics import BatchRecord, SimulationReport
+from repro.sim.runner import simulate_placement
+
+__all__ = [
+    "EventQueue",
+    "poisson_arrivals",
+    "BatchPolicy",
+    "SegmentServer",
+    "BatchRecord",
+    "SimulationReport",
+    "simulate_placement",
+]

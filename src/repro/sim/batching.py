@@ -1,0 +1,48 @@
+"""Batch assembly policy.
+
+Serving stacks batch requests up to the operating point's batch size, but
+flush a partial batch rather than let the oldest request's end-to-end
+latency blow through the SLO — the adaptive-batching behaviour GSLICE [23]
+popularized, which every framework in the evaluation (and any competent
+serving layer) employs.  The flush margin mirrors the half-SLO queueing
+budget the schedulers planned with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When to dispatch a batch from a segment's request queue."""
+
+    batch_size: int  #: operating-point batch (the target)
+    slo_ms: float  #: client-facing SLO of the service
+    exec_estimate_ms: float  #: expected execution latency of a full batch
+    safety_ms: float = 2.0  #: scheduling jitter margin
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if self.slo_ms <= 0:
+            raise ValueError("SLO must be positive")
+
+    @property
+    def flush_wait_ms(self) -> float:
+        """Max time the oldest request may wait before a forced flush.
+
+        The request still needs ``exec_estimate_ms`` of service after
+        dispatch, so it may queue for at most ``slo - exec - safety``.
+        """
+        return max(0.0, self.slo_ms - self.exec_estimate_ms - self.safety_ms)
+
+    def should_dispatch(self, queue_len: int, oldest_wait_ms: float) -> bool:
+        """Dispatch now? (full batch ready, or flush deadline reached)."""
+        if queue_len >= self.batch_size:
+            return True
+        return queue_len > 0 and oldest_wait_ms >= self.flush_wait_ms
+
+    def flush_deadline(self, oldest_arrival_s: float) -> float:
+        """Absolute sim time (s) by which a partial batch must dispatch."""
+        return oldest_arrival_s + self.flush_wait_ms / 1e3

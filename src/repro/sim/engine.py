@@ -1,0 +1,56 @@
+"""Event heap and simulation clock.
+
+A minimal, allocation-light discrete-event core: events are ``(time, seq,
+callback, payload)`` tuples on a binary heap; ``seq`` breaks ties
+deterministically so runs are reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+Callback = Callable[[float, Any], None]
+
+
+class EventQueue:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callback, Any]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, when: float, callback: Callback, payload: Any = None) -> None:
+        """Enqueue ``callback(now, payload)`` at simulated time ``when``."""
+        if when < self.now - 1e-12:
+            raise ValueError(
+                f"cannot schedule at {when:.6f}, clock already at {self.now:.6f}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, callback, payload))
+        self._seq += 1
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Drain events (up to ``until``); returns the number processed."""
+        processed = 0
+        while self._heap:
+            when, _, callback, payload = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            callback(when, payload)
+            processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        self._processed += processed
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed

@@ -1,0 +1,98 @@
+"""Simulation measurements: latency records, SLO compliance, SM activity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One executed batch."""
+
+    segment_key: str
+    service_id: str
+    dispatch_time: float  #: seconds
+    completion_time: float
+    batch_size: int
+    max_request_latency_ms: float  #: worst end-to-end latency in the batch
+    violated: bool  #: did the batch miss the service SLO?
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated serving quality of one service."""
+
+    service_id: str
+    slo_ms: float
+    batches: int = 0
+    violations: int = 0
+    requests: int = 0
+    latency_sum_ms: float = 0.0
+    latency_max_ms: float = 0.0
+
+    @property
+    def compliance(self) -> float:
+        """Fraction of batches meeting the SLO (Fig. 8's metric)."""
+        if self.batches == 0:
+            return 1.0
+        return 1.0 - self.violations / self.batches
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.requests if self.requests else 0.0
+
+
+@dataclass
+class SimulationReport:
+    """Everything a simulation run measured."""
+
+    duration_s: float
+    warmup_s: float
+    services: dict[str, ServiceStats] = field(default_factory=dict)
+    #: DCGM-style activity per segment key ("gpu0/<svc>/<slot>"), in [0, 1].
+    segment_activity: dict[str, float] = field(default_factory=dict)
+    #: requests completed per service during the measured window
+    completed: dict[str, int] = field(default_factory=dict)
+    events_processed: int = 0
+
+    @property
+    def overall_compliance(self) -> float:
+        """Batch-weighted SLO compliance across services."""
+        batches = sum(s.batches for s in self.services.values())
+        violations = sum(s.violations for s in self.services.values())
+        if batches == 0:
+            return 1.0
+        return 1.0 - violations / batches
+
+    @property
+    def violation_rate(self) -> float:
+        return 1.0 - self.overall_compliance
+
+    def achieved_rate(self, service_id: str) -> float:
+        """Measured goodput of one service, requests/s."""
+        window = self.duration_s - self.warmup_s
+        if window <= 0:
+            return 0.0
+        return self.completed.get(service_id, 0) / window
+
+    def summary_rows(self) -> list[tuple[str, float, float, float]]:
+        """(service, compliance %, mean latency ms, achieved rate) rows."""
+        return [
+            (
+                sid,
+                100.0 * st.compliance,
+                st.mean_latency_ms,
+                self.achieved_rate(sid),
+            )
+            for sid, st in sorted(self.services.items())
+        ]
+
+
+def percentile_latency(records: list[BatchRecord], q: float) -> float:
+    """q-th percentile of per-batch worst-request latency (ms)."""
+    if not records:
+        return 0.0
+    return float(np.percentile([r.max_request_latency_ms for r in records], q))

@@ -1,0 +1,161 @@
+"""Segment servers: the serving processes behind one placed partition.
+
+A :class:`SegmentServer` owns the request queue of one
+:class:`~repro.core.placement.PlacedSegment` and up to ``procs`` concurrent
+executor slots (the MPS processes).  Execution latency comes from the same
+performance model the profiler measured, evaluated at the *actual* dispatch
+batch size and the *momentary* process concurrency, times the partition's
+interference slowdown (1.0 for MIG segments; ground-truth contention for
+the MPS baselines — which is how a gpulet pair that was sized with an
+optimistic prediction ends up violating its SLO here).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.placement import PlacedSegment
+from repro.gpu.telemetry import SMActivityTracker
+from repro.models.perf import PerfModel
+from repro.models.zoo import get_model
+from repro.sim.batching import BatchPolicy
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import BatchRecord
+
+
+@dataclass
+class _InFlight:
+    """One batch being executed."""
+
+    arrivals: list[float]
+    dispatch_time: float
+
+
+class SegmentServer:
+    """Queue + batcher + ``procs`` executors for one placed partition."""
+
+    def __init__(
+        self,
+        key: str,
+        segment: PlacedSegment,
+        slo_ms: float,
+        events: EventQueue,
+        tracker: SMActivityTracker,
+        on_batch: Callable[[BatchRecord], None],
+        warmup_s: float = 0.0,
+    ) -> None:
+        self.key = key
+        self.segment = segment
+        self.slo_ms = slo_ms
+        self.events = events
+        self.tracker = tracker
+        self.on_batch = on_batch
+        self.warmup_s = warmup_s
+
+        self.perf = PerfModel(get_model(segment.model))
+        clean = self.perf.latency_ms(
+            segment.gpcs, segment.batch_size, segment.num_processes
+        )
+        #: ratio of scheduler-expected latency (incl. interference) to the
+        #: clean model: applied to every execution in this partition.
+        self.slowdown = max(1.0, segment.latency_ms / clean)
+        self.policy = BatchPolicy(
+            batch_size=segment.batch_size,
+            slo_ms=slo_ms,
+            exec_estimate_ms=segment.latency_ms,
+        )
+        self.queue: deque[float] = deque()
+        self.free_procs = segment.num_processes
+        self._flush_for: Optional[float] = None
+        self.batches_executed = 0
+
+        tracker.register(key, max(1, round(segment.sm_count)))
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+
+    def on_arrival(self, now: float, _payload: object = None) -> None:
+        self.queue.append(now)
+        self._try_dispatch(now)
+        self._arm_flush(now)
+
+    def _on_flush(self, now: float, oldest: float) -> None:
+        if self._flush_for == oldest:
+            self._flush_for = None
+        if self.queue and abs(self.queue[0] - oldest) < 1e-12:
+            self._try_dispatch(now, forced=True)
+        self._arm_flush(now)
+
+    def _on_completion(self, now: float, batch: _InFlight) -> None:
+        self.free_procs += 1
+        latencies = [(now - a) * 1e3 for a in batch.arrivals]
+        worst = max(latencies)
+        if batch.dispatch_time >= self.warmup_s:
+            self.batches_executed += 1
+            self.on_batch(
+                BatchRecord(
+                    segment_key=self.key,
+                    service_id=self.segment.service_id,
+                    dispatch_time=batch.dispatch_time,
+                    completion_time=now,
+                    batch_size=len(batch.arrivals),
+                    max_request_latency_ms=worst,
+                    violated=worst > self.slo_ms,
+                )
+            )
+        self._try_dispatch(now)
+        self._arm_flush(now)
+
+    # ------------------------------------------------------------------ #
+    # batching core
+    # ------------------------------------------------------------------ #
+
+    def _try_dispatch(self, now: float, forced: bool = False) -> None:
+        while self.free_procs > 0 and self.queue:
+            oldest_wait_ms = (now - self.queue[0]) * 1e3
+            if not forced and not self.policy.should_dispatch(
+                len(self.queue), oldest_wait_ms
+            ):
+                return
+            b = min(self.segment.batch_size, len(self.queue))
+            arrivals = [self.queue.popleft() for _ in range(b)]
+            concurrency = (
+                self.segment.num_processes - self.free_procs + 1
+            )  # executors busy after this dispatch
+            exec_ms = (
+                self.perf.latency_ms(self.segment.gpcs, b, concurrency)
+                * self.slowdown
+            )
+            if now >= self.warmup_s:
+                self.tracker.record_busy(
+                    self.key, self.perf.compute_ms(self.segment.gpcs, b) / 1e3
+                )
+            self.free_procs -= 1
+            self.events.schedule(
+                now + exec_ms / 1e3,
+                self._on_completion,
+                _InFlight(arrivals=arrivals, dispatch_time=now),
+            )
+            forced = False  # a forced flush only covers the first batch
+
+    def _arm_flush(self, now: float) -> None:
+        """Keep exactly one pending *future* flush event for the oldest.
+
+        An overdue queue head is already handled by
+        :meth:`BatchPolicy.should_dispatch` on every arrival/completion, and
+        a fully-busy server dispatches on its next completion — scheduling a
+        flush in either state would spin the event loop at ``now``.
+        """
+        if not self.queue or self.free_procs == 0:
+            return
+        oldest = self.queue[0]
+        if self._flush_for == oldest:
+            return
+        deadline = self.policy.flush_deadline(oldest)
+        if deadline <= now:
+            return
+        self._flush_for = oldest
+        self.events.schedule(deadline, self._on_flush, oldest)

@@ -1,0 +1,86 @@
+"""Unit tests for the gpulet baseline."""
+
+import pytest
+
+from repro.baselines.gpulet import Gpulet
+from repro.core.service import Service
+
+
+@pytest.fixture(scope="module")
+def gpulet(profiles):
+    return Gpulet(profiles)
+
+
+class TestStructuralRules:
+    def test_at_most_two_partitions_per_gpu(self, gpulet, profiles):
+        services = [
+            Service(f"s{i}", m, slo_latency_ms=300, request_rate=400)
+            for i, m in enumerate(
+                ["resnet-50", "vgg-16", "densenet-121", "inceptionv3",
+                 "mobilenetv2", "resnet-101"]
+            )
+        ]
+        placement = gpulet.schedule(services)
+        for plan in placement.gpus:
+            assert len(plan.segments) <= 2
+
+    def test_partitions_are_mps(self, gpulet, make_service):
+        placement = gpulet.schedule([make_service(rate=600.0)])
+        assert all(s.kind == "mps" for _, s in placement.iter_segments())
+
+    def test_second_partition_takes_all_remaining(self, gpulet):
+        services = [
+            Service("big", "vgg-16", slo_latency_ms=400, request_rate=800),
+            Service("small", "mobilenetv2", slo_latency_ms=200, request_rate=100),
+        ]
+        placement = gpulet.schedule(services)
+        for plan in placement.gpus:
+            if len(plan.segments) == 2:
+                # the pair uses the whole GPU: no external fragmentation
+                assert sum(s.gpcs for s in plan.segments) == pytest.approx(7.0)
+
+    def test_high_rate_splits_into_multiple_gpulets(self, gpulet, make_service):
+        svc = make_service(rate=9000.0)
+        placement = gpulet.schedule([svc])
+        assert len(placement.segments_of(svc.id)) >= 3
+
+    def test_served_rates_cover_demand(self, gpulet, make_service):
+        svc = make_service(rate=5000.0)
+        placement = gpulet.schedule([svc])
+        served = sum(s.served_rate for s in placement.segments_of(svc.id))
+        assert served == pytest.approx(5000.0, rel=1e-6)
+
+    def test_infeasible_slo_raises(self, gpulet):
+        from repro.baselines.base import InfeasibleScheduleError
+
+        svc = Service("t", "bert-large", slo_latency_ms=3.0, request_rate=10)
+        with pytest.raises(InfeasibleScheduleError):
+            gpulet.schedule([svc])
+
+
+class TestInterferenceHandling:
+    def test_ground_truth_latency_recorded_for_pairs(self, gpulet):
+        services = [
+            Service("a", "vgg-16", slo_latency_ms=400, request_rate=800),
+            Service("b", "resnet-50", slo_latency_ms=300, request_rate=300),
+        ]
+        placement = gpulet.schedule(services)
+        from repro.models.perf import PerfModel
+        from repro.models.zoo import get_model
+
+        for plan in placement.gpus:
+            if len(plan.segments) == 2:
+                for seg in plan.segments:
+                    clean = PerfModel(get_model(seg.model)).latency_ms(
+                        seg.gpcs, seg.batch_size, 1
+                    )
+                    assert seg.latency_ms >= clean  # interference included
+
+    def test_uses_more_gpus_than_parvagpu(self, gpulet, profiles):
+        """The paper's headline: gpulet needs ~2x ParvaGPU's fleet."""
+        from repro.core.parvagpu import ParvaGPU
+        from repro.scenarios import scenario_services
+
+        g = gpulet.schedule(scenario_services("S2"))
+        p = ParvaGPU(profiles).schedule(scenario_services("S2"))
+        assert g.num_gpus > p.num_gpus

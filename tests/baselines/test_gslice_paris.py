@@ -1,0 +1,95 @@
+"""Unit tests for the GSLICE and PARIS+ELSA baselines (Table I rows)."""
+
+import pytest
+
+from repro.baselines import GSlice, InfeasibleScheduleError, ParisElsa, make_framework
+from repro.core.parvagpu import ParvaGPU
+from repro.core.service import Service
+from repro.metrics import internal_slack
+from repro.scenarios import scenario_services
+
+
+@pytest.fixture(scope="module")
+def gslice(profiles):
+    return GSlice(profiles)
+
+
+@pytest.fixture(scope="module")
+def paris(profiles):
+    return ParisElsa(profiles)
+
+
+class TestGSlice:
+    def test_factory_name(self, profiles):
+        assert make_framework("gslice", profiles).name == "gslice"
+
+    def test_single_gpu_only(self, gslice):
+        placement = gslice.schedule(scenario_services("S1"))
+        assert placement.num_gpus == 1
+
+    def test_fails_beyond_one_gpu(self, gslice):
+        """Table I: no high-request-rate support."""
+        for scenario in ("S2", "S5", "S6"):
+            with pytest.raises(InfeasibleScheduleError):
+                gslice.schedule(scenario_services(scenario))
+
+    def test_quota_sums_within_gpu(self, gslice):
+        placement = gslice.schedule(scenario_services("S1"))
+        total = sum(s.gpcs for _, s in placement.iter_segments())
+        assert total <= 7.0 + 1e-9
+
+    def test_self_tuning_prevents_slack(self, gslice, profiles):
+        """Table I: internal slack prevention — GSLICE right-sizes, so its
+        slack beats the non-tuning MPS baselines on the same workload."""
+        from repro.baselines import IGniter
+
+        services = scenario_services("S1")
+        g = gslice.schedule(services)
+        i = IGniter(profiles).schedule(scenario_services("S1"))
+        assert internal_slack(g) < internal_slack(i)
+
+    def test_capacity_covers_demand(self, gslice):
+        services = scenario_services("S1")
+        placement = gslice.schedule(services)
+        for svc in services:
+            assert placement.total_capacity(svc.id) >= svc.request_rate
+
+    def test_empty_service_list(self, gslice):
+        with pytest.raises(InfeasibleScheduleError):
+            gslice.schedule([])
+
+
+class TestParisElsa:
+    def test_factory_name(self, profiles):
+        assert make_framework("paris-elsa", profiles).name == "paris-elsa"
+
+    def test_placement_is_legal_mig(self, paris):
+        for scenario in ("S1", "S2"):
+            paris.schedule(scenario_services(scenario)).validate()
+
+    def test_no_mps(self, paris):
+        placement = paris.schedule(scenario_services("S1"))
+        assert all(s.num_processes == 1 for _, s in placement.iter_segments())
+
+    def test_handles_high_rates_by_replication(self, paris):
+        placement = paris.schedule(scenario_services("S5"))
+        assert placement.num_gpus > 5
+
+    def test_tail_sizing_overallocates(self, paris, profiles):
+        """Sizing to the batch tail costs GPUs vs ParvaGPU (Table I: no
+        internal-slack prevention)."""
+        p = paris.schedule(scenario_services("S2"))
+        parva = ParvaGPU(profiles).schedule(scenario_services("S2"))
+        assert p.num_gpus >= parva.num_gpus
+        assert internal_slack(p) > internal_slack(parva)
+
+    def test_capacity_covers_demand(self, paris):
+        services = scenario_services("S2")
+        placement = paris.schedule(services)
+        for svc in services:
+            assert placement.total_capacity(svc.id) >= svc.request_rate * (1 - 1e-9)
+
+    def test_impossible_slo(self, paris):
+        svc = Service("t", "bert-large", slo_latency_ms=3.0, request_rate=10)
+        with pytest.raises(InfeasibleScheduleError):
+            paris.schedule([svc])

@@ -1,0 +1,65 @@
+"""Unit tests for the iGniter baseline."""
+
+import pytest
+
+from repro.baselines.base import InfeasibleScheduleError
+from repro.baselines.igniter import GUARD_FRACTION, IGniter
+from repro.core.service import Service
+from repro.scenarios import scenario_services
+
+
+@pytest.fixture(scope="module")
+def igniter(profiles):
+    return IGniter(profiles)
+
+
+class TestSizing:
+    def test_one_partition_per_service(self, igniter, make_service):
+        services = [
+            make_service(sid=f"s{i}", rate=300.0 * (i + 1)) for i in range(3)
+        ]
+        placement = igniter.schedule(services)
+        for svc in services:
+            assert len(placement.segments_of(svc.id)) == 1
+
+    def test_guard_band_overallocates(self, igniter, make_service):
+        """The padded partition's capacity exceeds the request rate."""
+        svc = make_service(rate=500.0)
+        placement = igniter.schedule([svc])
+        (seg,) = placement.segments_of(svc.id)
+        assert seg.capacity > 500.0
+        assert GUARD_FRACTION > 0
+
+    def test_partitions_are_mps(self, igniter, make_service):
+        placement = igniter.schedule([make_service()])
+        assert all(s.kind == "mps" for _, s in placement.iter_segments())
+
+
+class TestHighRateFailure:
+    def test_fails_s5_and_s6(self, igniter):
+        """The paper: 'iGniter is unable to manage high request rates,
+        leading to its failure to execute in S5 and S6'."""
+        for scenario in ("S5", "S6"):
+            with pytest.raises(InfeasibleScheduleError):
+                igniter.schedule(scenario_services(scenario))
+
+    def test_succeeds_s1_through_s4(self, igniter):
+        for scenario in ("S1", "S2", "S3", "S4"):
+            placement = igniter.schedule(scenario_services(scenario))
+            assert placement.num_gpus > 0
+
+    def test_single_service_beyond_one_gpu(self, igniter):
+        svc = Service(
+            "hot", "inceptionv3", slo_latency_ms=146, request_rate=3815
+        )
+        with pytest.raises(InfeasibleScheduleError):
+            igniter.schedule([svc])
+
+
+class TestFragmentation:
+    def test_leaves_unallocated_space(self, igniter):
+        """No fragmentation handling: leftovers remain on interior GPUs."""
+        from repro.metrics import external_fragmentation
+
+        placement = igniter.schedule(scenario_services("S3"))
+        assert external_fragmentation(placement) > 0.05

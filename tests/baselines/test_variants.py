@@ -1,0 +1,71 @@
+"""Unit tests for the framework factory and Table I metadata."""
+
+import pytest
+
+from repro.baselines import TABLE_I, all_frameworks, make_framework
+from repro.baselines.base import Capabilities
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls_name",
+        [
+            ("gpulet", "Gpulet"),
+            ("igniter", "IGniter"),
+            ("mig-serving", "MigServing"),
+            ("parvagpu", "ParvaGPU"),
+            ("parvagpu-single", "ParvaGPU"),
+            ("parvagpu-unoptimized", "ParvaGPU"),
+        ],
+    )
+    def test_known_names(self, profiles, name, cls_name):
+        fw = make_framework(name, profiles)
+        assert type(fw).__name__ == cls_name
+        assert fw.name == name
+
+    def test_case_insensitive(self, profiles):
+        assert make_framework(" ParvaGPU ", profiles).name == "parvagpu"
+
+    def test_unknown_raises(self, profiles):
+        with pytest.raises(KeyError):
+            make_framework("clockwork", profiles)
+
+    def test_extra_baselines_constructible(self, profiles):
+        assert make_framework("gslice", profiles).name == "gslice"
+        assert make_framework("paris-elsa", profiles).name == "paris-elsa"
+
+    def test_all_frameworks_default_set(self, profiles):
+        fws = all_frameworks(profiles)
+        assert list(fws) == [
+            "gpulet", "igniter", "mig-serving", "parvagpu-single", "parvagpu",
+        ]
+
+    def test_variant_flags(self, profiles):
+        single = make_framework("parvagpu-single", profiles)
+        assert single.configurator.max_processes == 1
+        unopt = make_framework("parvagpu-unoptimized", profiles)
+        assert unopt.allocator.optimize is False
+
+
+class TestTableI:
+    def test_six_rows(self):
+        assert len(TABLE_I) == 6
+        assert [c.name for c in TABLE_I] == [
+            "GSLICE", "gpulet", "iGniter", "PARIS and ELSA",
+            "MIG-serving", "ParvaGPU",
+        ]
+
+    def test_parvagpu_row(self):
+        row = TABLE_I[-1]
+        assert row == Capabilities(
+            "ParvaGPU", True, True, True, True, True, True, "Low"
+        )
+
+    def test_gpulet_quirks(self):
+        row = next(c for c in TABLE_I if c.name == "gpulet")
+        assert row.spatial_scheduling == 2  # two workloads per GPU
+        assert row.external_fragmentation_prevention is None  # N/A
+
+    def test_only_parvagpu_supports_both(self):
+        both = [c.name for c in TABLE_I if c.mps_support and c.mig_support]
+        assert both == ["ParvaGPU"]

@@ -1,0 +1,47 @@
+"""Shared fixtures: profiled workloads and service factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.service import Service
+from repro.profiler import Profiler, profile_workloads
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    """The full Table-IV zoo, profiled once per test session."""
+    return profile_workloads()
+
+
+@pytest.fixture(scope="session")
+def clean_profiles():
+    """Noise-free profiles (exact analytic surface) for calibration tests."""
+    profiler = Profiler(noise=0.0)
+    return {
+        name: profiler.profile_by_name(name)
+        for name in (
+            "inceptionv3",
+            "resnet-50",
+            "bert-large",
+            "mobilenetv2",
+            "vgg-16",
+        )
+    }
+
+
+@pytest.fixture
+def make_service():
+    """Factory for quick Service objects."""
+
+    def _make(
+        sid: str = "svc",
+        model: str = "resnet-50",
+        slo: float = 300.0,
+        rate: float = 500.0,
+    ) -> Service:
+        return Service(
+            id=sid, model=model, slo_latency_ms=slo, request_rate=rate
+        )
+
+    return _make

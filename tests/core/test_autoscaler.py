@@ -1,0 +1,66 @@
+"""Integration tests for trace-driven autoscaling."""
+
+import pytest
+
+from repro.core import Service
+from repro.core.autoscaler import Autoscaler
+from repro.sim.traces import Epoch, RateTrace, diurnal_trace, surge_trace
+
+
+@pytest.fixture
+def services():
+    return [
+        Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+        Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+    ]
+
+
+class TestAutoscaler:
+    def test_fleet_follows_load(self, profiles, services):
+        traces = [
+            surge_trace("a", base_rate=2000, surge_factor=4.0,
+                        surge_start_s=100.0, surge_end_s=200.0),
+        ]
+        report = Autoscaler(profiles).run(services, traces)
+        gpus = dict(report.gpu_series())
+        assert gpus[100.0] > gpus[0.0]  # surge grows the fleet
+        assert gpus[200.0] < gpus[100.0]  # and it shrinks back
+
+    def test_steps_only_on_rate_changes(self, profiles, services):
+        flat = RateTrace("a", (Epoch(0.0, 2000.0), Epoch(50.0, 2000.0)))
+        report = Autoscaler(profiles).run(services, [flat])
+        assert len(report.steps) == 1  # the 50 s epoch changed nothing
+
+    def test_unchanged_service_not_reconfigured(self, profiles, services):
+        traces = [
+            surge_trace("a", base_rate=2000, surge_factor=3.0,
+                        surge_start_s=60.0, surge_end_s=120.0),
+        ]
+        report = Autoscaler(profiles).run(services, traces)
+        surge_step = next(s for s in report.steps if s.time_s == 60.0)
+        # service b kept at least one instance live through the transition
+        assert surge_step.unchanged_instances >= 1
+        assert surge_step.cost.downtime_s.get("b", 0.0) == 0.0
+
+    def test_diurnal_day(self, profiles, services):
+        traces = [
+            diurnal_trace("a", base_rate=2000, amplitude=0.5, epochs=6),
+            diurnal_trace("b", base_rate=4000, amplitude=0.5, epochs=6,
+                          phase=1.0),
+        ]
+        report = Autoscaler(profiles, spare_gpus=4).run(services, traces)
+        assert len(report.steps) == 6
+        assert report.peak_gpus >= report.mean_gpus
+        assert report.total_reconfig_ops > 0
+        assert all(s.zero_downtime for s in report.steps)
+
+    def test_horizon_cuts_trace(self, profiles, services):
+        traces = [diurnal_trace("a", base_rate=2000, epochs=10,
+                                period_s=1000.0)]
+        report = Autoscaler(profiles).run(services, traces, horizon_s=500.0)
+        assert all(s.time_s < 500.0 for s in report.steps)
+
+    def test_unknown_trace_service(self, profiles, services):
+        bad = [diurnal_trace("ghost", base_rate=100)]
+        with pytest.raises(ValueError):
+            Autoscaler(profiles).run(services, bad)

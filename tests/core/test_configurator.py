@@ -1,0 +1,146 @@
+"""Unit tests for Algorithm 1: Optimal Triplet Decision + Demand Matching."""
+
+import math
+
+import pytest
+
+from repro.core.configurator import SegmentConfigurator
+from repro.core.service import InfeasibleServiceError, Service
+
+
+@pytest.fixture
+def configurator(profiles):
+    return SegmentConfigurator(profiles)
+
+
+class TestTripletDecision:
+    def test_every_triplet_beats_the_slo(self, configurator, make_service):
+        svc = make_service(slo=150.0)
+        tri = configurator.triplet_decision(svc)
+        for entry in tri.values():
+            assert entry.latency_ms < svc.effective_slo_ms
+
+    def test_one_triplet_per_size(self, configurator, make_service):
+        svc = make_service(slo=400.0)
+        tri = configurator.triplet_decision(svc)
+        assert set(tri) <= {1, 2, 3, 4, 7}
+        for size, entry in tri.items():
+            assert entry.instance_size == size
+
+    def test_triplet_maximizes_throughput(self, configurator, profiles, make_service):
+        svc = make_service(slo=400.0)
+        tri = configurator.triplet_decision(svc)
+        table = profiles[svc.model]
+        for size, best in tri.items():
+            for e in table.entries_for_size(size):
+                if e.latency_ms < svc.effective_slo_ms:
+                    assert e.throughput <= best.throughput * (1 + 1e-9)
+
+    def test_tight_slo_drops_small_sizes(self, configurator):
+        svc = Service("t", "vgg-19", slo_latency_ms=12.0, request_rate=100)
+        tri = configurator.triplet_decision(svc)
+        assert 1 not in tri  # a 1-GPC slice cannot run VGG-19 in 6 ms
+        assert 7 in tri
+
+    def test_impossible_slo_raises(self, configurator):
+        svc = Service("t", "bert-large", slo_latency_ms=2.0, request_rate=1)
+        with pytest.raises(InfeasibleServiceError):
+            configurator.triplet_decision(svc)
+
+    def test_unprofiled_model_raises(self, make_service):
+        empty = SegmentConfigurator({})
+        with pytest.raises(InfeasibleServiceError):
+            empty.triplet_decision(make_service())
+
+    def test_single_process_restriction(self, profiles, make_service):
+        single = SegmentConfigurator(profiles, max_processes=1)
+        svc = make_service(slo=400.0)
+        for entry in single.triplet_decision(svc).values():
+            assert entry.num_processes == 1
+
+    def test_max_processes_validation(self, profiles):
+        with pytest.raises(ValueError):
+            SegmentConfigurator(profiles, max_processes=0)
+
+
+class TestDemandMatching:
+    def test_opt_seg_maximizes_tp_per_gpc(self, configurator, make_service):
+        svc = make_service(rate=3000.0)
+        configurator.configure([svc])
+        best = max(
+            e.throughput_per_gpc for e in svc.opt_tri_array.values()
+        )
+        assert svc.opt_seg.throughput_per_gpc == pytest.approx(best)
+
+    def test_num_opt_seg_is_floor(self, configurator, make_service):
+        svc = make_service(rate=3000.0)
+        configurator.configure([svc])
+        assert svc.num_opt_seg == math.floor(3000.0 / svc.opt_seg.throughput)
+
+    def test_capacity_covers_rate(self, configurator, make_service):
+        for rate in (50, 500, 5000, 20000):
+            svc = make_service(sid=f"r{rate}", rate=float(rate))
+            configurator.configure([svc])
+            assert svc.planned_throughput() >= rate * (1 - 1e-9)
+
+    def test_small_rate_single_segment(self, configurator, make_service):
+        """The num_opt_seg = 0 path: one right-sized segment."""
+        svc = make_service(rate=30.0)
+        configurator.configure([svc])
+        assert svc.num_opt_seg == 0
+        assert svc.last_seg is not None
+        assert svc.last_seg.throughput >= 30.0
+
+    def test_last_segment_is_smallest_adequate_size(
+        self, configurator, make_service
+    ):
+        svc = make_service(rate=30.0)
+        configurator.configure([svc])
+        # every smaller profiled size must be unable to cover the rate
+        for size, entry in svc.opt_tri_array.items():
+            if size < svc.last_seg.instance_size:
+                assert entry.throughput < 30.0
+
+    def test_last_segment_rate_matched(self, configurator, profiles, make_service):
+        """Within its size, the last segment is the tightest feasible fit."""
+        svc = make_service(rate=30.0)
+        configurator.configure([svc])
+        last = svc.last_seg
+        table = profiles[svc.model]
+        for e in table.entries_for_size(last.instance_size):
+            if (
+                e.latency_ms < svc.effective_slo_ms
+                and e.throughput >= 30.0
+            ):
+                assert last.throughput <= e.throughput * (1 + 1e-9)
+
+    def test_exact_multiple_has_no_last_segment(self, configurator, make_service):
+        probe = make_service(sid="probe", rate=1000.0)
+        configurator.configure([probe])
+        tp = probe.opt_seg.throughput
+        svc = make_service(sid="exact", rate=3 * tp)
+        configurator.configure([svc])
+        assert svc.num_opt_seg == 3
+        assert svc.last_seg is None
+
+    def test_configure_returns_all(self, configurator, make_service):
+        services = [make_service(sid=f"s{i}", rate=100.0 * (i + 1)) for i in range(4)]
+        out = configurator.configure(services)
+        assert out == services
+        assert all(s.opt_seg is not None for s in services)
+
+
+class TestEquation2Optimality:
+    """Eq. 1/2: maximizing tp/GPC minimizes total GPCs for large rates."""
+
+    def test_greedy_beats_alternatives_asymptotically(
+        self, configurator, profiles, make_service
+    ):
+        svc = make_service(rate=50000.0)
+        configurator.configure([svc])
+        greedy_gpcs = svc.planned_gpcs()
+        # any single-size plan must use at least as many GPCs (up to the
+        # one-segment rounding of the last segment)
+        for size, entry in svc.opt_tri_array.items():
+            n = math.ceil(50000.0 / entry.throughput)
+            assert greedy_gpcs <= n * size + 7

@@ -1,0 +1,72 @@
+"""Integration tests for GPU-failure recovery."""
+
+import pytest
+
+from repro.core import DeploymentManager, ParvaGPU, Service
+from repro.core.failover import FailoverController
+from repro.scenarios import scenario_services
+
+
+@pytest.fixture
+def deployed(profiles):
+    services = scenario_services("S2")
+    placement = ParvaGPU(profiles).schedule(services)
+    manager = DeploymentManager(profiles)
+    manager.deploy(placement)
+    return services, placement, manager
+
+
+class TestFailover:
+    def test_capacity_restored(self, profiles, deployed):
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        result = ctrl.fail_gpu(0, services)
+        for svc in services:
+            assert result.placement.total_capacity(svc.id) >= svc.request_rate * (
+                1 - 1e-9
+            ), svc.id
+
+    def test_result_bookkeeping(self, profiles, deployed):
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        result = ctrl.fail_gpu(0, services)
+        assert result.failed_gpu == 0
+        assert result.affected_services
+        assert all(v > 0 for v in result.lost_capacity.values())
+        assert result.gpus_before == placement.num_gpus
+        result.placement.validate()
+
+    def test_untouched_services_keep_instances(self, profiles, deployed):
+        services, placement, manager = deployed
+        victims = {s.service_id for s in placement.gpus[0].segments}
+        survivors = set(placement.service_ids()) - victims
+        ctrl = FailoverController(profiles, manager)
+        result = ctrl.fail_gpu(0, services)
+        for sid in survivors:
+            assert result.cost.downtime_s.get(sid, 0.0) == 0.0, sid
+
+    def test_failing_empty_gpu_rejected(self, profiles, deployed):
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        with pytest.raises(ValueError):
+            ctrl.fail_gpu(99, services)
+
+    def test_without_deployment_rejected(self, profiles):
+        ctrl = FailoverController(profiles, DeploymentManager(profiles))
+        with pytest.raises(RuntimeError):
+            ctrl.fail_gpu(0, [])
+
+    def test_sequential_failures_survivable(self, profiles):
+        """Losing two GPUs in a row still yields a valid, covering map."""
+        services = scenario_services("S4")
+        manager = DeploymentManager(profiles)
+        manager.deploy(ParvaGPU(profiles).schedule(services))
+        ctrl = FailoverController(profiles, manager)
+        r1 = ctrl.fail_gpu(manager.current.gpus[0].gpu_id, services)
+        # GPU ids are preserved, so the failed id is gone; hit the next one.
+        r2 = ctrl.fail_gpu(r1.placement.gpus[0].gpu_id, services)
+        r2.placement.validate()
+        for svc in services:
+            assert r2.placement.total_capacity(svc.id) >= svc.request_rate * (
+                1 - 1e-9
+            )

@@ -1,0 +1,174 @@
+"""Unit tests for the Placement deployment map."""
+
+import pytest
+
+from repro.core.placement import GPUPlan, PlacedSegment, Placement
+
+
+def mig_seg(sid="a", gpcs=2.0, start=0, capacity=100.0, **kw):
+    defaults = dict(
+        service_id=sid,
+        model="resnet-50",
+        kind="mig",
+        gpcs=gpcs,
+        batch_size=8,
+        num_processes=2,
+        capacity=capacity,
+        latency_ms=10.0,
+        sm_activity=0.9,
+        start=start,
+    )
+    defaults.update(kw)
+    return PlacedSegment(**defaults)
+
+
+def mps_seg(sid="a", gpcs=3.5, capacity=100.0, **kw):
+    defaults = dict(
+        service_id=sid,
+        model="resnet-50",
+        kind="mps",
+        gpcs=gpcs,
+        batch_size=8,
+        num_processes=1,
+        capacity=capacity,
+        latency_ms=10.0,
+        sm_activity=0.9,
+    )
+    defaults.update(kw)
+    return PlacedSegment(**defaults)
+
+
+class TestPlacedSegment:
+    def test_mig_needs_start(self):
+        with pytest.raises(ValueError):
+            mig_seg(start=None)
+
+    def test_mig_integral_size(self):
+        with pytest.raises(ValueError):
+            mig_seg(gpcs=2.5)
+
+    def test_mps_fractional_ok(self):
+        assert mps_seg(gpcs=1.4).sm_count == pytest.approx(1.4 * 14)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            mps_seg(gpcs=0.0)
+        with pytest.raises(ValueError):
+            mps_seg(gpcs=7.5)
+        with pytest.raises(ValueError):
+            mig_seg(capacity=0.0)
+
+    def test_load_fraction_clamped(self):
+        s = mig_seg(capacity=100.0).with_served_rate(150.0)
+        assert s.load_fraction == 1.0
+        s = mig_seg(capacity=100.0).with_served_rate(50.0)
+        assert s.load_fraction == 0.5
+
+
+class TestGPUPlanValidation:
+    def test_legal_mig_plan(self):
+        plan = GPUPlan(0, [mig_seg(gpcs=4.0, start=0), mig_seg(gpcs=3.0, start=4)])
+        plan.validate()
+
+    def test_overlapping_mig_rejected(self):
+        plan = GPUPlan(0, [mig_seg(gpcs=4.0, start=0), mig_seg(gpcs=7.0, start=0)])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_mps_quota_enforced(self):
+        plan = GPUPlan(0, [mps_seg(gpcs=5.0), mps_seg(sid="b", gpcs=3.0)])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_no_mixing_mig_and_mps(self):
+        plan = GPUPlan(0, [mig_seg(), mps_seg(sid="b", gpcs=1.0)])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+
+class TestPlacement:
+    def build(self):
+        p = Placement(framework="test")
+        p.add(0, mig_seg(sid="a", gpcs=4.0, start=0, capacity=300.0))
+        p.add(0, mig_seg(sid="b", gpcs=3.0, start=4, capacity=200.0))
+        p.add(1, mig_seg(sid="a", gpcs=2.0, start=0, capacity=100.0))
+        return p
+
+    def test_num_gpus_ignores_empty(self):
+        p = self.build()
+        p.gpu(5)  # create empty plans up to id 5
+        assert p.num_gpus == 2
+
+    def test_drop_empty_renumbers(self):
+        p = self.build()
+        p.gpu(4)
+        p.drop_empty_gpus()
+        assert [g.gpu_id for g in p.gpus] == [0, 1]
+
+    def test_segments_of(self):
+        p = self.build()
+        assert len(p.segments_of("a")) == 2
+        assert p.total_capacity("a") == 400.0
+
+    def test_service_ids(self):
+        assert self.build().service_ids() == ("a", "b")
+
+    def test_sm_accounting(self):
+        p = self.build()
+        assert p.allocated_sms() == pytest.approx((4 + 3 + 2) * 14)
+        assert p.total_sms() == pytest.approx(2 * 98)
+
+
+class TestAssignRates:
+    def test_proportional(self):
+        p = Placement(framework="t")
+        p.add(0, mig_seg(sid="a", gpcs=1.0, start=0, capacity=300.0))
+        p.add(0, mig_seg(sid="a", gpcs=1.0, start=1, capacity=100.0))
+        p.assign_rates({"a": 200.0}, policy="proportional")
+        rates = sorted(s.served_rate for _, s in p.iter_segments())
+        assert rates == [pytest.approx(50.0), pytest.approx(150.0)]
+        assert p.rates_assigned
+
+    def test_fill_saturates_best_tp_per_gpc_first(self):
+        p = Placement(framework="t")
+        p.add(0, mig_seg(sid="a", gpcs=1.0, start=0, capacity=300.0))
+        p.add(0, mig_seg(sid="a", gpcs=2.0, start=2, capacity=400.0))
+        p.assign_rates({"a": 350.0}, policy="fill")
+        by_start = {s.start: s.served_rate for _, s in p.iter_segments()}
+        # 300 tp/gpc on the 1-GPC segment beats 200 on the 2-GPC one.
+        assert by_start[0] == pytest.approx(300.0)
+        assert by_start[2] == pytest.approx(50.0)
+
+    def test_fill_overload_lands_on_largest(self):
+        p = Placement(framework="t")
+        p.add(0, mig_seg(sid="a", gpcs=1.0, start=0, capacity=100.0))
+        p.assign_rates({"a": 150.0}, policy="fill")
+        (_, s), = p.iter_segments()
+        assert s.served_rate == pytest.approx(150.0)
+
+    def test_unknown_policy(self):
+        p = self_placement = Placement(framework="t")
+        p.add(0, mig_seg())
+        with pytest.raises(ValueError):
+            p.assign_rates({"a": 1.0}, policy="nope")
+
+    def test_missing_service_raises(self):
+        p = Placement(framework="t")
+        p.add(0, mig_seg(sid="a"))
+        with pytest.raises(ValueError):
+            p.assign_rates({"b": 1.0})
+
+
+class TestInstanceSpecs:
+    def test_mig_export(self):
+        p = Placement(framework="t")
+        p.add(0, mig_seg(sid="a", gpcs=4.0, start=0))
+        specs = p.to_instance_specs()
+        assert specs[0].size == 4
+        assert specs[0].owner == "a"
+
+    def test_mps_export_rejected(self):
+        p = Placement(framework="t")
+        p.add(0, mps_seg())
+        with pytest.raises(ValueError):
+            p.to_instance_specs()

@@ -1,0 +1,58 @@
+"""Unit tests for the Service object (Table II)."""
+
+import pytest
+
+from repro.core.service import Service
+
+
+class TestConstruction:
+    def test_valid(self):
+        s = Service("a", "resnet-50", slo_latency_ms=200, request_rate=100)
+        assert s.spec.name == "resnet-50"
+
+    def test_effective_slo_is_half(self):
+        # SIV-A: internal latency = half the target, following Nexus.
+        s = Service("a", "resnet-50", slo_latency_ms=200, request_rate=100)
+        assert s.effective_slo_ms == 100.0
+
+    def test_custom_slo_factor(self):
+        s = Service(
+            "a", "resnet-50", slo_latency_ms=200, request_rate=100,
+            slo_factor=0.8,
+        )
+        assert s.effective_slo_ms == pytest.approx(160.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Service("a", "resnet-50", slo_latency_ms=0, request_rate=1)
+        with pytest.raises(ValueError):
+            Service("a", "resnet-50", slo_latency_ms=1, request_rate=0)
+        with pytest.raises(ValueError):
+            Service(
+                "a", "resnet-50", slo_latency_ms=1, request_rate=1,
+                slo_factor=0.0,
+            )
+
+    def test_unknown_model_fails_fast(self):
+        with pytest.raises(KeyError):
+            Service("a", "nope", slo_latency_ms=1, request_rate=1)
+
+
+class TestPlanAccessors:
+    def test_empty_plan(self, make_service):
+        s = make_service()
+        assert s.segments() == []
+        assert s.planned_throughput() == 0.0
+        assert s.planned_gpcs() == 0
+
+    def test_reset_plan(self, profiles, make_service):
+        from repro.core.configurator import SegmentConfigurator
+
+        s = make_service(rate=2000.0)
+        SegmentConfigurator(profiles).configure([s])
+        assert s.segments()
+        s.reset_plan()
+        assert s.opt_seg is None
+        assert s.num_opt_seg == 0
+        assert s.last_seg is None
+        assert not s.opt_tri_array

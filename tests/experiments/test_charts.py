@@ -1,0 +1,58 @@
+"""Unit tests for terminal chart rendering."""
+
+from repro.experiments.charts import render_bar_chart, render_series
+from repro.experiments.registry import ExperimentResult
+
+
+def bar_result():
+    r = ExperimentResult("figX", "demo bars", columns=("scenario", "a", "b"))
+    r.add("S1", 10.0, 20.0)
+    r.add("S2", None, 40.0)
+    return r
+
+
+def series_result():
+    r = ExperimentResult("figY", "demo series", columns=("factor", "up", "down"))
+    for k in range(1, 6):
+        r.add(k, float(k), float(6 - k))
+    return r
+
+
+class TestBarChart:
+    def test_contains_groups_and_series(self):
+        text = render_bar_chart(bar_result())
+        for token in ("S1", "S2", "a", "b", "demo bars"):
+            assert token in text
+
+    def test_none_renders_na(self):
+        assert "n/a" in render_bar_chart(bar_result())
+
+    def test_peak_value_gets_full_bar(self):
+        text = render_bar_chart(bar_result(), width=10)
+        assert "██████████ 40" in text
+
+    def test_proportionality(self):
+        lines = render_bar_chart(bar_result(), width=40).splitlines()
+        a_bar = next(l for l in lines if l.strip().startswith("a")).count("█")
+        b40 = [l for l in lines if "40" in l][0].count("█")
+        assert b40 == 40
+        assert a_bar == 10  # 10/40 of the width
+
+    def test_empty_result(self):
+        r = ExperimentResult("x", "t", columns=("g", "v"))
+        assert "(no data)" in render_bar_chart(r)
+
+
+class TestSeries:
+    def test_marks_and_legend(self):
+        text = render_series(series_result())
+        assert "legend:" in text
+        assert "U=up" in text or "u=up" in text.lower()
+
+    def test_extremes_on_axis(self):
+        text = render_series(series_result())
+        assert "5.00" in text and "1.00" in text
+
+    def test_empty(self):
+        r = ExperimentResult("x", "t", columns=("f", "v"))
+        assert "(no data)" in render_series(r)

@@ -1,0 +1,115 @@
+"""Tests for the experiment registry and the fast harnesses."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments.registry import ExperimentResult
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) >= {
+            "table1", "fig1", "fig3", "fig4", "table4",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+        }
+        assert "table1x" in EXPERIMENTS  # the beyond-the-paper comparison
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_result_row_validation(self):
+        r = ExperimentResult("x", "t", columns=("a", "b"))
+        r.add(1, 2)
+        with pytest.raises(ValueError):
+            r.add(1)
+
+    def test_result_column_access(self):
+        r = ExperimentResult("x", "t", columns=("a", "b"))
+        r.add(1, 2)
+        r.add(3, 4)
+        assert r.column("b") == [2, 4]
+
+    def test_render_contains_notes(self):
+        r = ExperimentResult("x", "title", columns=("a",))
+        r.add(1.5)
+        r.notes.append("hello")
+        text = r.render()
+        assert "title" in text and "1.50" in text and "note: hello" in text
+
+
+class TestStaticHarnesses:
+    def test_table1_matches_paper_rows(self):
+        result = run_experiment("table1")
+        assert len(result.rows) == 6
+        parva = result.rows[-1]
+        assert parva[0] == "ParvaGPU"
+        assert parva[-1] == "Low"
+
+    def test_fig1_has_19_configs(self):
+        result = run_experiment("fig1")
+        assert len(result.rows) == 19
+
+    def test_table4_dimensions(self):
+        result = run_experiment("table4")
+        assert len(result.rows) == 12  # 6 scenarios x (rate, latency)
+        assert len(result.columns) == 2 + 11
+
+    def test_fig3_grid(self):
+        result = run_experiment("fig3")
+        assert len(result.rows) == 3 * 5  # procs x sizes
+        # throughput should broadly rise with batch on big instances
+        row = next(r for r in result.rows if r[0] == 1 and r[1] == 7)
+        series = [v for v in row[2:] if v is not None]
+        assert series[-1] > series[0]
+
+    def test_fig4_oom_gaps_match_fig3(self):
+        fig3 = run_experiment("fig3")
+        fig4 = run_experiment("fig4")
+        for r3, r4 in zip(fig3.rows, fig4.rows):
+            assert [v is None for v in r3[2:]] == [v is None for v in r4[2:]]
+
+
+class TestScenarioHarnesses:
+    """Shape assertions on the figure-level claims (S1/S2 kept quick)."""
+
+    def test_fig5_shape(self):
+        result = run_experiment("fig5")
+        by_scenario = {row[0]: row for row in result.rows}
+        cols = result.columns
+        parva_i = cols.index("parvagpu")
+        igniter_i = cols.index("igniter")
+        gpulet_i = cols.index("gpulet")
+        single_i = cols.index("parvagpu-single")
+        for name, row in by_scenario.items():
+            # ParvaGPU always uses the fewest GPUs
+            rivals = [v for j, v in enumerate(row[1:], 1)
+                      if j != parva_i and v is not None]
+            assert all(row[parva_i] <= v for v in rivals)
+            # ... and never beats its own single-process ablation's bound
+            assert row[parva_i] <= row[single_i]
+        # iGniter absent from S5/S6
+        assert by_scenario["S5"][igniter_i] is None
+        assert by_scenario["S6"][igniter_i] is None
+        # gpulet blows up at high request rates
+        assert by_scenario["S6"][gpulet_i] >= 1.5 * by_scenario["S6"][parva_i]
+
+    def test_fig7_shape(self):
+        result = run_experiment("fig7")
+        cols = result.columns
+        parva_i = cols.index("parvagpu")
+        igniter_i = cols.index("igniter")
+        for row in result.rows:
+            assert row[parva_i] == pytest.approx(0.0, abs=0.5)
+        igniter_vals = [
+            row[igniter_i] for row in result.rows if row[igniter_i] is not None
+        ]
+        assert max(igniter_vals) > 10.0  # iGniter fragments badly somewhere
+
+    def test_fig9_shape(self):
+        result = run_experiment("fig9", repeats=1)
+        cols = result.columns
+        parva_i = cols.index("parvagpu")
+        mig_i = cols.index("mig-serving")
+        for row in result.rows:
+            assert row[mig_i] > row[parva_i]  # log scale: strictly slower

@@ -1,0 +1,37 @@
+"""Unit tests for the framebuffer capacity model."""
+
+import pytest
+
+from repro.gpu.memory import (
+    MemoryError_,
+    check_fits,
+    fits_in_memory,
+    instance_memory_gb,
+)
+
+
+def test_capacity_map():
+    assert instance_memory_gb(1) == 10
+    assert instance_memory_gb(3) == 40
+    assert instance_memory_gb(7) == 80
+
+
+def test_unknown_size():
+    with pytest.raises(ValueError):
+        instance_memory_gb(5)
+
+
+def test_fits_boundary():
+    assert fits_in_memory(10.0, 1)
+    assert not fits_in_memory(10.1, 1)
+
+
+def test_fits_negative_requirement():
+    with pytest.raises(ValueError):
+        fits_in_memory(-1.0, 1)
+
+
+def test_check_fits_raises():
+    with pytest.raises(MemoryError_):
+        check_fits(11.0, 1)
+    check_fits(9.0, 1)  # no raise

@@ -1,0 +1,65 @@
+"""Unit tests for the MPS daemon model."""
+
+import pytest
+
+from repro.gpu.mps import MAX_PROCESSES_PER_SEGMENT, MPSContext, MPSError
+
+
+class TestLaunch:
+    def test_launch_assigns_pids(self):
+        ctx = MPSContext()
+        p1 = ctx.launch("svc")
+        p2 = ctx.launch("svc")
+        assert p1.pid != p2.pid
+        assert ctx.num_processes == 2
+
+    def test_homogeneity_enforced(self):
+        ctx = MPSContext(homogeneous_only=True)
+        ctx.launch("a")
+        with pytest.raises(MPSError):
+            ctx.launch("b")
+
+    def test_heterogeneous_allowed_when_configured(self):
+        ctx = MPSContext(homogeneous_only=False, max_processes=4)
+        ctx.launch("a")
+        ctx.launch("b")
+        assert ctx.workloads == ("a", "b")
+
+    def test_max_processes(self):
+        ctx = MPSContext()
+        for _ in range(MAX_PROCESSES_PER_SEGMENT):
+            ctx.launch("svc")
+        with pytest.raises(MPSError):
+            ctx.launch("svc")
+
+    def test_quota_validation(self):
+        ctx = MPSContext()
+        with pytest.raises(MPSError):
+            ctx.launch("svc", active_thread_pct=0.0)
+        with pytest.raises(MPSError):
+            ctx.launch("svc", active_thread_pct=101.0)
+
+
+class TestTerminate:
+    def test_terminate_by_pid(self):
+        ctx = MPSContext()
+        p = ctx.launch("svc")
+        ctx.terminate(p.pid)
+        assert ctx.num_processes == 0
+
+    def test_terminate_unknown_pid(self):
+        with pytest.raises(MPSError):
+            MPSContext().terminate(42)
+
+    def test_terminate_all(self):
+        ctx = MPSContext()
+        ctx.launch("svc")
+        ctx.launch("svc")
+        ctx.terminate_all()
+        assert ctx.num_processes == 0
+
+    def test_total_quota(self):
+        ctx = MPSContext()
+        ctx.launch("svc", active_thread_pct=60.0)
+        ctx.launch("svc", active_thread_pct=60.0)
+        assert ctx.total_active_thread_pct() == pytest.approx(120.0)

@@ -1,0 +1,79 @@
+"""Unit tests for the reconfiguration cost model (SIII-F)."""
+
+import pytest
+
+from repro.gpu.cluster import Cluster, InstanceSpec, ReconfigurationPlan
+from repro.gpu.reconfig import (
+    CREATE_COST_S,
+    DESTROY_COST_S,
+    PROCESS_LAUNCH_COST_S,
+    ShadowBudget,
+    price_plan,
+)
+
+
+def spec(gpu, size, start, owner, procs=1):
+    return InstanceSpec(gpu_id=gpu, size=size, start=start, owner=owner,
+                        num_processes=procs)
+
+
+class TestPricePlan:
+    def test_noop_costs_nothing(self):
+        cost = price_plan(ReconfigurationPlan())
+        assert cost.total_work_s == 0.0
+        assert cost.max_downtime_s == 0.0
+        assert cost.shadow_gpus == 0
+        assert cost.disrupted_services == ()
+
+    def test_create_cost_includes_processes(self):
+        plan = ReconfigurationPlan(create=[spec(0, 2, 0, "a", procs=3)])
+        cost = price_plan(plan)
+        assert cost.total_work_s == pytest.approx(
+            CREATE_COST_S + 3 * PROCESS_LAUNCH_COST_S
+        )
+        assert cost.downtime_s["a"] == cost.total_work_s
+
+    def test_destroy_cost(self):
+        plan = ReconfigurationPlan(destroy=[(0, (0, 2, "a"))])
+        assert price_plan(plan).total_work_s == pytest.approx(DESTROY_COST_S)
+
+    def test_unchanged_services_have_zero_downtime(self):
+        plan = ReconfigurationPlan(
+            create=[spec(0, 2, 0, "a")],
+            unchanged=[spec(1, 3, 4, "b")],
+        )
+        cost = price_plan(plan)
+        assert cost.downtime_s["b"] == 0.0
+        assert cost.disrupted_services == ("a",)
+
+    def test_shadow_gpus_round_up(self):
+        plan = ReconfigurationPlan(
+            create=[spec(0, 7, 0, "a"), spec(1, 1, 0, "b")]
+        )
+        assert price_plan(plan).shadow_gpus == 2  # 8 GPCs -> 2 GPUs
+
+    def test_end_to_end_with_cluster(self):
+        cluster = Cluster()
+        cluster.apply_specs([spec(0, 4, 0, "a"), spec(0, 3, 4, "b")])
+        plan = cluster.plan_reconfiguration(
+            [spec(0, 2, 0, "a"), spec(0, 3, 4, "b")]
+        )
+        cost = price_plan(plan)
+        assert cost.downtime_s["a"] > 0
+        assert cost.downtime_s["b"] == 0.0
+
+
+class TestShadowBudget:
+    def test_admit_within_budget(self):
+        budget = ShadowBudget(spare_gpus=2)
+        plan = ReconfigurationPlan(create=[spec(0, 7, 0, "a")])
+        assert budget.admit(0.0, price_plan(plan))
+        assert budget.peak_used == 1
+
+    def test_reject_over_budget(self):
+        budget = ShadowBudget(spare_gpus=1)
+        plan = ReconfigurationPlan(
+            create=[spec(0, 7, 0, "a"), spec(1, 7, 0, "b")]
+        )
+        assert not budget.admit(0.0, price_plan(plan))
+        assert budget.peak_used == 0

@@ -1,0 +1,101 @@
+"""Unit tests for GPC slice bitmask arithmetic."""
+
+import pytest
+
+from repro.gpu.slices import (
+    FULL_MASK,
+    NUM_SLICES,
+    free_slices,
+    is_subset,
+    iter_runs,
+    largest_free_run,
+    mask_of,
+    overlaps,
+    popcount,
+    range_mask,
+    slice_indices,
+)
+
+
+class TestMaskOf:
+    def test_empty(self):
+        assert mask_of([]) == 0
+
+    def test_single(self):
+        assert mask_of([0]) == 0b1
+        assert mask_of([6]) == 0b1000000
+
+    def test_multiple(self):
+        assert mask_of([0, 2, 3]) == 0b1101
+
+    def test_duplicates_collapse(self):
+        assert mask_of([1, 1, 1]) == 0b10
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            mask_of([7])
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+
+class TestRangeMask:
+    def test_full(self):
+        assert range_mask(0, 7) == FULL_MASK
+
+    def test_middle(self):
+        assert range_mask(2, 3) == 0b0011100
+
+    def test_zero_length(self):
+        assert range_mask(3, 0) == 0
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            range_mask(5, 3)
+        with pytest.raises(ValueError):
+            range_mask(-1, 2)
+
+
+class TestQueries:
+    def test_slice_indices_roundtrip(self):
+        for mask in (0, 0b1, 0b1010101, FULL_MASK):
+            assert mask_of(slice_indices(mask)) == mask
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(FULL_MASK) == NUM_SLICES
+        assert popcount(0b101) == 2
+
+    def test_overlaps(self):
+        assert overlaps(0b110, 0b011)
+        assert not overlaps(0b100, 0b011)
+
+    def test_is_subset(self):
+        assert is_subset(0b101, 0b111)
+        assert not is_subset(0b101, 0b100)
+        assert is_subset(0, 0)
+
+    def test_free_slices(self):
+        assert free_slices(FULL_MASK) == ()
+        assert free_slices(0) == tuple(range(NUM_SLICES))
+        assert free_slices(0b0001111) == (4, 5, 6)
+
+
+class TestRuns:
+    def test_iter_runs_empty(self):
+        assert list(iter_runs(0)) == []
+
+    def test_iter_runs_full(self):
+        assert list(iter_runs(FULL_MASK)) == [(0, 7)]
+
+    def test_iter_runs_split(self):
+        assert list(iter_runs(0b1100110)) == [(1, 2), (5, 2)]
+
+    def test_largest_free_run_empty_gpu(self):
+        assert largest_free_run(0) == 7
+
+    def test_largest_free_run_blocked_middle(self):
+        # slice 3 occupied splits the GPU into runs of 3.
+        assert largest_free_run(0b0001000) == 3
+
+    def test_largest_free_run_full(self):
+        assert largest_free_run(FULL_MASK) == 0

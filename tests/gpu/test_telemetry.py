@@ -1,0 +1,76 @@
+"""Unit tests for DCGM-style SM-activity accounting (Eq. 3 semantics)."""
+
+import pytest
+
+from repro.gpu.telemetry import ActivitySample, SMActivityTracker
+
+
+class TestActivitySample:
+    def test_full_activity(self):
+        # M blocks for the whole interval -> 1.0 (the paper's example).
+        s = ActivitySample("k", sm_count=98, busy_sm_time=98.0, window=1.0)
+        assert s.activity == pytest.approx(1.0)
+
+    def test_fifth_of_blocks(self):
+        # M/5 blocks throughout -> 0.2.
+        s = ActivitySample("k", sm_count=98, busy_sm_time=98.0 / 5, window=1.0)
+        assert s.activity == pytest.approx(0.2)
+
+    def test_fifth_of_time(self):
+        # all M blocks but one fifth of the time -> 0.2.
+        s = ActivitySample("k", sm_count=98, busy_sm_time=0.2 * 98, window=1.0)
+        assert s.activity == pytest.approx(0.2)
+
+    def test_clamped_at_one(self):
+        s = ActivitySample("k", sm_count=10, busy_sm_time=20.0, window=1.0)
+        assert s.activity == 1.0
+
+    def test_zero_window(self):
+        assert ActivitySample("k", 10, 5.0, 0.0).activity == 0.0
+
+
+class TestTracker:
+    def test_register_required(self):
+        t = SMActivityTracker()
+        with pytest.raises(KeyError):
+            t.record_busy("missing", 1.0)
+
+    def test_register_positive_sms(self):
+        with pytest.raises(ValueError):
+            SMActivityTracker().register("k", 0)
+
+    def test_accumulation(self):
+        t = SMActivityTracker()
+        t.register("k", 14)
+        t.record_busy("k", 0.25)
+        t.record_busy("k", 0.25)
+        assert t.sample("k", 1.0).activity == pytest.approx(0.5)
+
+    def test_partial_occupancy(self):
+        t = SMActivityTracker()
+        t.register("k", 14)
+        t.record_busy("k", 1.0, active_fraction=0.5)
+        assert t.sample("k", 1.0).activity == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        t = SMActivityTracker()
+        t.register("k", 14)
+        with pytest.raises(ValueError):
+            t.record_busy("k", -1.0)
+        with pytest.raises(ValueError):
+            t.record_busy("k", 1.0, active_fraction=1.5)
+
+    def test_reset(self):
+        t = SMActivityTracker()
+        t.register("k", 14)
+        t.record_busy("k", 1.0)
+        t.reset(now=5.0)
+        assert t.window_start == 5.0
+        assert t.sample("k", 6.0).activity == 0.0
+
+    def test_samples_sorted(self):
+        t = SMActivityTracker()
+        t.register("b", 14)
+        t.register("a", 14)
+        keys = [s.segment_key for s in t.samples(1.0)]
+        assert keys == ["a", "b"]

@@ -1,0 +1,101 @@
+"""End-to-end integration: schedule -> deploy -> simulate, per framework."""
+
+import pytest
+
+from repro.baselines import InfeasibleScheduleError, all_frameworks
+from repro.core import DeploymentManager, ParvaGPU
+from repro.metrics import external_fragmentation, internal_slack
+from repro.scenarios import scenario_services
+from repro.sim import simulate_placement
+
+
+class TestScenarioS2AllFrameworks:
+    @pytest.fixture(scope="class")
+    def results(self, profiles):
+        out = {}
+        for name, fw in all_frameworks(profiles).items():
+            services = scenario_services("S2")
+            placement = fw.schedule(services)
+            report = simulate_placement(placement, services, duration_s=1.5)
+            out[name] = (placement, report)
+        return out
+
+    def test_all_valid(self, results):
+        for placement, _ in results.values():
+            placement.validate()
+
+    def test_parvagpu_fewest_gpus(self, results):
+        parva = results["parvagpu"][0].num_gpus
+        for name, (placement, _) in results.items():
+            assert parva <= placement.num_gpus, name
+
+    def test_parvagpu_lowest_slack(self, results):
+        slacks = {
+            name: internal_slack(p, r.segment_activity)
+            for name, (p, r) in results.items()
+        }
+        assert slacks["parvagpu"] == min(slacks.values())
+        # the paper's ordering: MPS ablation costs slack too
+        assert slacks["parvagpu"] <= slacks["parvagpu-single"]
+
+    def test_parvagpu_zero_fragmentation(self, results):
+        assert external_fragmentation(results["parvagpu"][0]) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_mig_frameworks_full_compliance(self, results):
+        for name in ("parvagpu", "parvagpu-single", "mig-serving", "igniter"):
+            assert results[name][1].overall_compliance > 0.99, name
+
+    def test_gpulet_is_the_violator(self, results):
+        """Fig. 8: gpulet is the only framework with SLO violations."""
+        assert results["gpulet"][1].overall_compliance < 1.0
+
+    def test_capacity_covers_every_service(self, results):
+        services = scenario_services("S2")
+        for name, (placement, _) in results.items():
+            # gpulet genuinely under-provisions the pair whose interference
+            # its predictor underestimates — that *is* its Fig. 8 failure —
+            # so it only gets the loose bound.
+            floor = 0.8 if name == "gpulet" else 0.95
+            for svc in services:
+                assert (
+                    placement.total_capacity(svc.id) >= svc.request_rate * floor
+                ), (name, svc.id)
+
+
+class TestHighLoadScenario:
+    def test_s6_parvagpu_end_to_end(self, profiles):
+        services = scenario_services("S6")
+        placement = ParvaGPU(profiles).schedule(services)
+        assert placement.num_gpus >= 10  # tens of GPUs at S6 scale
+        report = simulate_placement(placement, services, duration_s=1.0)
+        assert report.overall_compliance > 0.99
+        slack = internal_slack(placement, report.segment_activity)
+        assert slack < 0.15  # the paper's "optimally configured" range
+
+    def test_igniter_fails_s6(self, profiles):
+        from repro.baselines import IGniter
+
+        with pytest.raises(InfeasibleScheduleError):
+            IGniter(profiles).schedule(scenario_services("S6"))
+
+
+class TestDeploymentRoundTrip:
+    def test_schedule_deploy_matches_cluster_state(self, profiles):
+        services = scenario_services("S1")
+        placement = ParvaGPU(profiles).schedule(services)
+        mgr = DeploymentManager(profiles)
+        mgr.deploy(placement)
+        assert mgr.cluster.used_gpu_count() == placement.num_gpus
+        for gpu_id, seg in placement.iter_segments():
+            gpu = mgr.cluster.gpu(gpu_id)
+            match = [
+                i
+                for i in gpu.instances
+                if i.owner == seg.service_id
+                and i.start == seg.start
+                and i.size == int(seg.gpcs)
+            ]
+            assert match, f"missing instance for {seg.service_id}"
+            assert match[0].mps.num_processes == seg.num_processes

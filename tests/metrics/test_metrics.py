@@ -1,0 +1,117 @@
+"""Unit tests for Eq. 3 internal slack and Eq. 4 external fragmentation."""
+
+import pytest
+
+from repro.core.placement import PlacedSegment, Placement
+from repro.metrics import (
+    external_fragmentation,
+    internal_slack,
+    log_ms,
+    raw_fragmentation,
+    segment_activity,
+)
+
+
+def seg(sid="a", gpcs=7.0, start=0, capacity=100.0, served=100.0, activity=1.0):
+    return PlacedSegment(
+        service_id=sid,
+        model="resnet-50",
+        kind="mig",
+        gpcs=gpcs,
+        batch_size=8,
+        num_processes=1,
+        capacity=capacity,
+        latency_ms=10.0,
+        sm_activity=activity,
+        start=start,
+        served_rate=served,
+    )
+
+
+class TestSegmentActivity:
+    def test_scales_with_load(self):
+        assert segment_activity(0.8, 0.5) == pytest.approx(0.4)
+
+    def test_clamps_overload(self):
+        assert segment_activity(0.8, 2.0) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            segment_activity(1.5, 0.5)
+        with pytest.raises(ValueError):
+            segment_activity(0.5, -0.1)
+
+
+class TestInternalSlack:
+    def test_perfect_utilization(self):
+        p = Placement(framework="t")
+        p.add(0, seg(activity=1.0, served=100.0))
+        assert internal_slack(p) == pytest.approx(0.0)
+
+    def test_half_busy(self):
+        p = Placement(framework="t")
+        p.add(0, seg(activity=1.0, served=50.0))
+        assert internal_slack(p) == pytest.approx(0.5)
+
+    def test_sm_weighted(self):
+        p = Placement(framework="t")
+        p.add(0, seg(sid="big", gpcs=4.0, start=0, activity=1.0, served=100.0))
+        p.add(0, seg(sid="small", gpcs=1.0, start=4, activity=1.0, served=0.0))
+        # 4 GPCs fully busy, 1 GPC idle -> slack 1/5.
+        assert internal_slack(p) == pytest.approx(0.2)
+
+    def test_empty_placement(self):
+        assert internal_slack(Placement(framework="t")) == 0.0
+
+    def test_measured_activity_override(self):
+        p = Placement(framework="t")
+        p.add(0, seg(activity=1.0, served=100.0))
+        assert internal_slack(p, {"gpu0/a/0": 0.25}) == pytest.approx(0.75)
+
+    def test_measured_activity_missing_key(self):
+        p = Placement(framework="t")
+        p.add(0, seg())
+        with pytest.raises(KeyError):
+            internal_slack(p, {})
+
+
+class TestExternalFragmentation:
+    def test_full_gpus_no_fragmentation(self):
+        p = Placement(framework="t")
+        p.add(0, seg(gpcs=7.0))
+        p.add(1, seg(sid="b", gpcs=7.0))
+        assert external_fragmentation(p) == 0.0
+
+    def test_frontier_excluded(self):
+        """A partially-filled *last* GPU is free capacity, not fragmentation."""
+        p = Placement(framework="t")
+        p.add(0, seg(gpcs=7.0))
+        p.add(1, seg(sid="b", gpcs=2.0))
+        assert external_fragmentation(p) == 0.0
+        assert raw_fragmentation(p) == pytest.approx(5 * 14 / 196)
+
+    def test_interior_holes_counted(self):
+        p = Placement(framework="t")
+        p.add(0, seg(gpcs=4.0))  # 3 GPCs wasted here
+        p.add(1, seg(sid="b", gpcs=7.0))
+        p.add(2, seg(sid="c", gpcs=2.0))  # frontier
+        assert external_fragmentation(p) == pytest.approx(3 * 14 / (3 * 98))
+
+    def test_empty_placement(self):
+        assert external_fragmentation(Placement(framework="t")) == 0.0
+        assert raw_fragmentation(Placement(framework="t")) == 0.0
+
+    def test_single_gpu_never_fragmented(self):
+        p = Placement(framework="t")
+        p.add(0, seg(gpcs=1.0))
+        assert external_fragmentation(p) == 0.0
+
+
+class TestLogMs:
+    def test_log10(self):
+        assert log_ms(1000.0) == pytest.approx(3.0)
+        assert log_ms(0.1) == pytest.approx(-1.0)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            log_ms(0.0)

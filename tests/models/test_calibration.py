@@ -1,0 +1,75 @@
+"""Calibration tests: the model must match the paper's quoted measurements.
+
+SIII-B quotes InceptionV3 on an A100: instance 1 / batch 4 gives
+throughput 354/444/446 req/s and latency 11/18/27 ms for 1/2/3 MPS
+processes; instance 4 / batch 8 gives 786/1695/1810 req/s at 10/9/13 ms.
+We require every anchor within 20% (the paper's own numbers carry
+measurement noise — latency *decreases* from 1 to 2 processes in one
+case) and the qualitative ratios the paper emphasizes exactly.
+"""
+
+import pytest
+
+from repro.models.perf import PerfModel
+from repro.models.zoo import get_model
+
+ANCHORS = [
+    # (gpcs, batch, procs, throughput, latency_ms)
+    (1, 4, 1, 354, 11),
+    (1, 4, 2, 444, 18),
+    (1, 4, 3, 446, 27),
+    (4, 8, 1, 786, 10),
+    (4, 8, 2, 1695, 9),
+    (4, 8, 3, 1810, 13),
+]
+
+TOLERANCE = 0.20
+
+
+@pytest.fixture(scope="module")
+def inception():
+    return PerfModel(get_model("inceptionv3"))
+
+
+@pytest.mark.parametrize("g,b,p,tp,lat", ANCHORS)
+def test_throughput_anchor(inception, g, b, p, tp, lat):
+    measured = inception.throughput(g, b, p)
+    assert measured == pytest.approx(tp, rel=TOLERANCE)
+
+
+@pytest.mark.parametrize("g,b,p,tp,lat", ANCHORS)
+def test_latency_anchor(inception, g, b, p, tp, lat):
+    measured = inception.latency_ms(g, b, p)
+    assert measured == pytest.approx(lat, rel=TOLERANCE + 0.05)
+
+
+def test_small_instance_latency_ratios(inception):
+    """SIII-B: latency rises 1.6x then 2.45x on the saturated instance."""
+    l1 = inception.latency_ms(1, 4, 1)
+    l2 = inception.latency_ms(1, 4, 2)
+    l3 = inception.latency_ms(1, 4, 3)
+    assert l2 / l1 == pytest.approx(1.6, rel=0.15)
+    assert l3 / l1 == pytest.approx(2.45, rel=0.15)
+
+
+def test_small_instance_throughput_plateaus(inception):
+    tp1 = inception.throughput(1, 4, 1)
+    tp2 = inception.throughput(1, 4, 2)
+    tp3 = inception.throughput(1, 4, 3)
+    assert tp2 > tp1  # some improvement
+    assert abs(tp3 - tp2) / tp2 < 0.10  # then a plateau
+
+def test_large_instance_scales_instead(inception):
+    tp1 = inception.throughput(4, 8, 1)
+    tp3 = inception.throughput(4, 8, 3)
+    l1 = inception.latency_ms(4, 8, 1)
+    l3 = inception.latency_ms(4, 8, 3)
+    assert tp3 / tp1 > 2.0  # "significant increase in throughput"
+    assert l3 / l1 < 1.6  # "increases in latency are minimal"
+
+
+def test_profiler_noise_within_tolerance(clean_profiles, profiles):
+    """1% profiling jitter must not move anchors outside tolerance."""
+    noisy = profiles["inceptionv3"].lookup(1, 4, 2)
+    clean = clean_profiles["inceptionv3"].lookup(1, 4, 2)
+    assert noisy.throughput == pytest.approx(clean.throughput, rel=0.03)

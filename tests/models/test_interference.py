@@ -1,0 +1,102 @@
+"""Unit tests for the heterogeneous-MPS interference model."""
+
+import pytest
+
+from repro.models.interference import (
+    Corunner,
+    InterferenceModel,
+    InterferenceOracle,
+)
+from repro.models.zoo import get_model
+
+VGG = get_model("vgg-16")
+MOBILE = get_model("mobilenetv2")
+RESNET = get_model("resnet-50")
+
+
+class TestInterferenceModel:
+    def test_no_corunners_no_slowdown(self):
+        assert InterferenceModel().slowdown(VGG, []) == 1.0
+
+    def test_self_corunning_ignored(self):
+        # Homogeneous sharing is handled by the perf model, not here.
+        m = InterferenceModel()
+        assert m.slowdown(VGG, [Corunner(VGG, 0.5)]) == 1.0
+
+    def test_heavier_corunner_hurts_more(self):
+        m = InterferenceModel()
+        small = m.slowdown(RESNET, [Corunner(VGG, 0.2)])
+        big = m.slowdown(RESNET, [Corunner(VGG, 0.8)])
+        assert big > small > 1.0
+
+    def test_bandwidth_hungry_corunner_hurts_more(self):
+        m = InterferenceModel()
+        assert m.slowdown(RESNET, [Corunner(VGG, 0.5)]) > m.slowdown(
+            RESNET, [Corunner(MOBILE, 0.5)]
+        )
+
+    def test_sensitive_victim_suffers_more(self):
+        m = InterferenceModel()
+        assert m.slowdown(VGG, [Corunner(RESNET, 0.5)]) > m.slowdown(
+            MOBILE, [Corunner(RESNET, 0.5)]
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(kappa=-1.0)
+        with pytest.raises(ValueError):
+            Corunner(VGG, 0.0)
+        with pytest.raises(ValueError):
+            Corunner(VGG, 1.5)
+
+
+class TestOracle:
+    def test_prediction_deterministic(self):
+        o1, o2 = InterferenceOracle(), InterferenceOracle()
+        cor = [Corunner(VGG, 0.5)]
+        assert o1.predicted_slowdown(RESNET, cor) == o2.predicted_slowdown(
+            RESNET, cor
+        )
+
+    def test_prediction_symmetric_error_pairs(self):
+        """Error derives from the unordered pair, so swapping roles uses
+        the same perturbation seed."""
+        o = InterferenceOracle()
+        assert o._pair_error("a", "b") == o._pair_error("b", "a")
+
+    def test_prediction_error_bounded(self):
+        o = InterferenceOracle(max_error=0.35)
+        models = [VGG, MOBILE, RESNET, get_model("bert-large")]
+        for victim in models:
+            for partner in models:
+                if victim.name == partner.name:
+                    continue
+                cor = [Corunner(partner, 0.6)]
+                actual = o.actual_slowdown(victim, cor)
+                predicted = o.predicted_slowdown(victim, cor)
+                err = abs(predicted - actual) / (actual - 1.0)
+                assert err <= 0.35 + 1e-9
+
+    def test_some_pair_is_underestimated(self):
+        """gpulet's S2 violations need at least one optimistic pair."""
+        o = InterferenceOracle()
+        names = [
+            "vgg-16", "vgg-19", "resnet-50", "densenet-121", "inceptionv3",
+            "mobilenetv2", "bert-large",
+        ]
+        under = 0
+        for a in names:
+            for b in names:
+                if a >= b:
+                    continue
+                cor = [Corunner(get_model(b), 0.5)]
+                victim = get_model(a)
+                if o.predicted_slowdown(victim, cor) < o.actual_slowdown(
+                    victim, cor
+                ):
+                    under += 1
+        assert under > 0
+
+    def test_prediction_without_corunners(self):
+        o = InterferenceOracle()
+        assert o.predicted_slowdown(VGG, []) == 1.0

@@ -1,0 +1,89 @@
+"""Cross-model performance-model invariants, parametrized over the zoo.
+
+These are the structural properties every workload's surface must satisfy
+for the scheduling algorithms to be meaningful — violations would silently
+corrupt triplet decisions (e.g. a non-monotone latency surface could make
+the SLO filter admit an unstable point).
+"""
+
+import pytest
+
+from repro.gpu.mig import INSTANCE_SIZES
+from repro.models.perf import PROFILE_BATCH_SIZES, PerfModel
+from repro.models.zoo import TABLE_IV_ORDER, get_model
+
+
+@pytest.fixture(params=TABLE_IV_ORDER, scope="module")
+def perf(request):
+    return PerfModel(get_model(request.param))
+
+
+class TestSurfaceShape:
+    def test_latency_monotone_in_batch(self, perf):
+        for g in INSTANCE_SIZES:
+            lats = [perf.latency_ms(g, b, 1) for b in PROFILE_BATCH_SIZES]
+            assert lats == sorted(lats), perf.spec.name
+
+    def test_latency_monotone_in_procs(self, perf):
+        for g in (1, 3, 7):
+            for b in (1, 16, 128):
+                lats = [perf.latency_ms(g, b, p) for p in (1, 2, 3)]
+                assert lats == sorted(lats), perf.spec.name
+
+    def test_latency_antitone_in_instance(self, perf):
+        for b in (1, 16, 128):
+            lats = [perf.latency_ms(g, b, 1) for g in INSTANCE_SIZES]
+            assert lats == sorted(lats, reverse=True), perf.spec.name
+
+    def test_throughput_nondecreasing_in_procs(self, perf):
+        """Extra MPS processes never *reduce* throughput by more than the
+        contention tax (a few percent)."""
+        for g in INSTANCE_SIZES:
+            for b in (4, 32):
+                tps = [perf.throughput(g, b, p) for p in (1, 2, 3)]
+                assert tps[1] >= tps[0] * 0.95, perf.spec.name
+                assert tps[2] >= tps[1] * 0.93, perf.spec.name
+
+    def test_throughput_increasing_in_instance(self, perf):
+        for b in (8, 64):
+            tps = [perf.throughput(g, b, 2) for g in INSTANCE_SIZES]
+            assert tps == sorted(tps), perf.spec.name
+
+
+class TestMemorySurface:
+    def test_memory_independent_of_instance(self, perf):
+        assert perf.memory_gb(16, 2) == perf.memory_gb(16, 2)
+
+    def test_weights_dominate_at_batch_one(self, perf):
+        assert perf.memory_gb(1, 1) >= perf.spec.weights_gb
+
+    def test_some_point_fits_some_instance(self, perf):
+        assert any(
+            perf.fits(g, b, p)
+            for g in INSTANCE_SIZES
+            for b in PROFILE_BATCH_SIZES
+            for p in (1, 2, 3)
+        ), perf.spec.name
+
+    def test_oom_monotone(self, perf):
+        """If (b, p) fits an instance, every smaller (b', p') fits too."""
+        for g in INSTANCE_SIZES:
+            for b in (8, 64):
+                for p in (2, 3):
+                    if perf.fits(g, b, p):
+                        assert perf.fits(g, b // 2, p)
+                        assert perf.fits(g, b, p - 1)
+
+
+class TestActivitySurface:
+    def test_activity_valid_everywhere(self, perf):
+        for g in INSTANCE_SIZES:
+            for b in (1, 16, 128):
+                for p in (1, 2, 3):
+                    a = perf.sm_activity(g, b, p)
+                    assert 0.0 < a <= 1.0, perf.spec.name
+
+    def test_more_procs_more_activity(self, perf):
+        for g in (1, 4):
+            acts = [perf.sm_activity(g, 16, p) for p in (1, 2, 3)]
+            assert acts[2] >= acts[0], perf.spec.name

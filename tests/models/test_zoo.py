@@ -1,0 +1,85 @@
+"""Unit tests for the workload zoo (Table IV row 1)."""
+
+import pytest
+
+from repro.models.zoo import (
+    ModelSpec,
+    TABLE_IV_ORDER,
+    WORKLOADS,
+    get_model,
+    model_names,
+)
+
+
+class TestTableIV:
+    def test_eleven_workloads(self):
+        assert len(WORKLOADS) == 11
+        assert len(TABLE_IV_ORDER) == 11
+
+    def test_parameter_counts_match_paper(self):
+        expected = {
+            "bert-large": 330.0,
+            "densenet-121": 8.0,
+            "densenet-169": 14.1,
+            "densenet-201": 20.0,
+            "inceptionv3": 27.2,
+            "mobilenetv2": 3.5,
+            "resnet-101": 44.5,
+            "resnet-152": 60.2,
+            "resnet-50": 25.6,
+            "vgg-16": 138.4,
+            "vgg-19": 143.7,
+        }
+        for name, params in expected.items():
+            assert get_model(name).params_millions == params
+
+    def test_order_matches_table(self):
+        assert model_names()[0] == "bert-large"
+        assert model_names()[-1] == "vgg-19"
+
+    def test_relative_speed_sane(self):
+        # MobileNetV2 fastest, BERT-large slowest per GPC.
+        t = {m: get_model(m).t_inf for m in model_names()}
+        assert t["mobilenetv2"] == min(t.values())
+        assert t["bert-large"] == max(t.values())
+
+    def test_weights_scale_with_params(self):
+        assert get_model("vgg-19").weights_gb > get_model("mobilenetv2").weights_gb
+        assert get_model("bert-large").weights_gb == pytest.approx(
+            330.0 * 4e-3 * 1.25
+        )
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_model("ResNet-50") is get_model("resnet-50")
+
+    def test_strips_whitespace(self):
+        assert get_model(" vgg-16 ") is get_model("vgg-16")
+
+    def test_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("alexnet")
+
+
+class TestValidation:
+    def test_bad_t_inf(self):
+        with pytest.raises(ValueError):
+            ModelSpec(
+                name="x", params_millions=1, t_inf=0, b_half=1, o0=1, o1=1,
+                o_exp=0.7, eta=0.95, act_gb_per_req=0.01, bw_intensity=0.5,
+            )
+
+    def test_bad_eta(self):
+        with pytest.raises(ValueError):
+            ModelSpec(
+                name="x", params_millions=1, t_inf=1, b_half=1, o0=1, o1=1,
+                o_exp=0.7, eta=1.5, act_gb_per_req=0.01, bw_intensity=0.5,
+            )
+
+    def test_bad_bw(self):
+        with pytest.raises(ValueError):
+            ModelSpec(
+                name="x", params_millions=1, t_inf=1, b_half=1, o0=1, o1=1,
+                o_exp=0.7, eta=0.95, act_gb_per_req=0.01, bw_intensity=1.5,
+            )

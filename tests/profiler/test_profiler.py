@@ -1,0 +1,112 @@
+"""Unit tests for the Profiler (SIII-C) and the profile store."""
+
+import pytest
+
+from repro.models.perf import PerfModel
+from repro.models.zoo import get_model
+from repro.profiler import ProfileEntry, ProfileTable, Profiler, profile_workloads
+
+
+class TestProfiler:
+    def test_grid_dimensions(self, profiles):
+        table = profiles["resnet-50"]
+        assert table.instance_sizes() == (1, 2, 3, 4, 7)
+        batches = {e.batch_size for e in table}
+        assert batches == {1, 2, 4, 8, 16, 32, 64, 128}
+
+    def test_oom_points_absent(self, profiles):
+        """BERT-large at batch 128 x 3 procs cannot fit a 10 GB slice."""
+        table = profiles["bert-large"]
+        assert table.lookup(1, 128, 3) is None
+        assert table.lookup(7, 128, 3) is not None
+
+    def test_deterministic_noise(self):
+        a = Profiler(noise=0.01).profile(get_model("resnet-50"))
+        b = Profiler(noise=0.01).profile(get_model("resnet-50"))
+        for ea, eb in zip(a, b):
+            assert ea == eb
+
+    def test_zero_noise_matches_model(self):
+        table = Profiler(noise=0.0).profile(get_model("resnet-50"))
+        perf = PerfModel(get_model("resnet-50"))
+        e = table.lookup(2, 16, 2)
+        assert e.throughput == pytest.approx(perf.throughput(2, 16, 2))
+        assert e.latency_ms == pytest.approx(perf.latency_ms(2, 16, 2))
+
+    def test_cache_returns_same_object(self):
+        p = Profiler()
+        assert p.profile(get_model("vgg-16")) is p.profile(get_model("vgg-16"))
+
+    def test_profile_workloads_selection(self):
+        tables = profile_workloads(["resnet-50", "vgg-16"])
+        assert set(tables) == {"resnet-50", "vgg-16"}
+
+    def test_profile_workloads_full_zoo(self, profiles):
+        assert len(profiles) == 11
+
+    def test_estimated_cost_positive(self):
+        p = Profiler()
+        cost = p.estimated_profiling_cost_s(get_model("resnet-50"))
+        assert cost > 0
+
+
+class TestProfileTable:
+    def entry(self, g=1, b=1, p=1, tp=100.0, lat=10.0, model="m"):
+        return ProfileEntry(
+            model=model,
+            instance_size=g,
+            batch_size=b,
+            num_processes=p,
+            latency_ms=lat,
+            throughput=tp,
+            memory_gb=1.0,
+            sm_activity=0.9,
+        )
+
+    def test_add_and_lookup(self):
+        t = ProfileTable("m")
+        t.add(self.entry())
+        assert t.lookup(1, 1, 1).throughput == 100.0
+        assert t.lookup(1, 2, 1) is None
+
+    def test_wrong_model_rejected(self):
+        t = ProfileTable("m")
+        with pytest.raises(ValueError):
+            t.add(self.entry(model="other"))
+
+    def test_duplicate_rejected(self):
+        t = ProfileTable("m")
+        t.add(self.entry())
+        with pytest.raises(ValueError):
+            t.add(self.entry())
+
+    def test_under_latency_is_strict(self):
+        t = ProfileTable("m")
+        t.add(self.entry(b=1, lat=10.0))
+        t.add(self.entry(b=2, lat=20.0))
+        assert len(t.under_latency(20.0)) == 1
+
+    def test_entries_for_size(self):
+        t = ProfileTable("m")
+        t.add(self.entry(g=1))
+        t.add(self.entry(g=2))
+        assert len(t.entries_for_size(2)) == 1
+
+    def test_filtered(self):
+        t = ProfileTable("m")
+        t.add(self.entry(tp=10))
+        t.add(self.entry(b=2, tp=1000))
+        assert len(t.filtered(lambda e: e.throughput > 100)) == 1
+
+    def test_json_roundtrip(self, profiles):
+        original = profiles["inceptionv3"]
+        restored = ProfileTable.from_json(original.to_json())
+        assert restored.model == original.model
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a == b
+
+    def test_triplet_and_tp_per_gpc(self):
+        e = self.entry(g=2, b=4, p=3, tp=500.0)
+        assert e.triplet == (2, 4, 3)
+        assert e.throughput_per_gpc == 250.0

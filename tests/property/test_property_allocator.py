@@ -1,0 +1,74 @@
+"""Property-based tests for Algorithm 2's invariants.
+
+For any feasible random service mix, the allocator must produce a
+placement that (1) is MIG-legal on every GPU, (2) places every configured
+segment, (3) keeps per-service capacity at or above demand, and (4) the
+optimized variant never uses more GPUs than plain relocation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import SegmentAllocator
+from repro.core.configurator import SegmentConfigurator
+from repro.core.service import InfeasibleServiceError, Service
+from repro.models.zoo import TABLE_IV_ORDER
+from repro.profiler import profile_workloads
+
+PROFILES = profile_workloads()
+
+service_lists = st.lists(
+    st.tuples(
+        st.sampled_from(TABLE_IV_ORDER),
+        st.floats(min_value=60.0, max_value=2000.0),
+        st.floats(min_value=50.0, max_value=8000.0),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _configure(params):
+    services = []
+    configurator = SegmentConfigurator(PROFILES)
+    for i, (model, slo, rate) in enumerate(params):
+        svc = Service(
+            id=f"svc{i}", model=model, slo_latency_ms=slo, request_rate=rate
+        )
+        try:
+            configurator.configure([svc])
+        except InfeasibleServiceError:
+            continue
+        services.append(svc)
+    return services
+
+
+@given(service_lists)
+@settings(max_examples=60, deadline=None)
+def test_algorithm2_invariants(params):
+    services = _configure(params)
+    if not services:
+        return
+
+    unopt = SegmentAllocator(optimize=False).allocate(services)
+    unopt.validate()  # (1) legality
+    expected = sum(len(s.segments()) for s in services)
+    assert len(list(unopt.iter_segments())) == expected  # (2) completeness
+
+    opt = SegmentAllocator(optimize=True).allocate(services)
+    opt.validate()  # (1) legality after optimization
+    for svc in services:  # (3) capacity preserved by splitting
+        assert opt.total_capacity(svc.id) >= svc.request_rate * (1 - 1e-9)
+    assert opt.num_gpus <= unopt.num_gpus  # (4) optimization never hurts
+
+
+@given(service_lists)
+@settings(max_examples=30, deadline=None)
+def test_gpu_count_lower_bound(params):
+    """No placement may beat the GPC-count lower bound ceil(gpcs/7)."""
+    services = _configure(params)
+    if not services:
+        return
+    placement = SegmentAllocator(optimize=True).allocate(services)
+    total_gpcs = sum(s.gpcs for _, s in placement.iter_segments())
+    assert placement.num_gpus >= -(-int(total_gpcs) // 7)

@@ -1,0 +1,60 @@
+"""Property-based tests for Algorithm 1's invariants.
+
+For any (model, SLO, rate) that admits a feasible plan:
+
+1. every chosen triplet beats the effective SLO;
+2. planned capacity covers the request rate;
+3. the optimal segment maximizes throughput-per-GPC over the triplet array
+   (the Eq. 2 argument);
+4. the last segment is the smallest size that can cover the leftover.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configurator import SegmentConfigurator
+from repro.core.service import InfeasibleServiceError, Service
+from repro.models.zoo import TABLE_IV_ORDER
+from repro.profiler import profile_workloads
+
+PROFILES = profile_workloads()
+
+service_params = st.tuples(
+    st.sampled_from(TABLE_IV_ORDER),
+    st.floats(min_value=20.0, max_value=8000.0),
+    st.floats(min_value=1.0, max_value=30000.0),
+)
+
+
+@given(service_params)
+@settings(max_examples=120, deadline=None)
+def test_algorithm1_invariants(params):
+    model, slo, rate = params
+    svc = Service(id="p", model=model, slo_latency_ms=slo, request_rate=rate)
+    configurator = SegmentConfigurator(PROFILES)
+    try:
+        configurator.configure([svc])
+    except InfeasibleServiceError:
+        # legitimately impossible SLO; nothing further to check
+        return
+
+    # (1) SLO respected by every triplet
+    for entry in svc.opt_tri_array.values():
+        assert entry.latency_ms < svc.effective_slo_ms
+
+    # (2) demand covered
+    assert svc.planned_throughput() >= rate * (1 - 1e-9)
+
+    # (3) optimal segment maximizes tp/GPC
+    best = max(e.throughput_per_gpc for e in svc.opt_tri_array.values())
+    assert svc.opt_seg.throughput_per_gpc == pytest.approx(best)
+
+    # (4) the last segment's size is minimal among adequate sizes
+    if svc.last_seg is not None and svc.num_opt_seg == 0:
+        for size, entry in svc.opt_tri_array.items():
+            if size < svc.last_seg.instance_size:
+                assert entry.throughput < rate
+
+    # segment count sanity: never more than rate/opt_tp + 1 segments
+    assert len(svc.segments()) <= rate / svc.opt_seg.throughput + 1 + 1e-9

@@ -1,0 +1,73 @@
+"""Property-based tests for the SIII-F incremental update path.
+
+Invariant: any sequence of SLO/rate updates leaves the deployment map
+MIG-legal, demand-covering for every service, and never touches services
+that were not updated in that step.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeploymentManager, ParvaGPU, Service
+from repro.profiler import profile_workloads
+
+PROFILES = profile_workloads()
+
+MODELS = ("resnet-50", "inceptionv3", "vgg-16", "mobilenetv2")
+
+updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(MODELS) - 1),  # which service
+        st.floats(min_value=100.0, max_value=1500.0),  # new SLO
+        st.floats(min_value=100.0, max_value=6000.0),  # new rate
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(updates)
+@settings(max_examples=25, deadline=None)
+def test_update_sequence_invariants(seq):
+    services = [
+        Service(f"svc{i}", m, slo_latency_ms=400.0, request_rate=800.0)
+        for i, m in enumerate(MODELS)
+    ]
+    manager = DeploymentManager(PROFILES)
+    manager.deploy(ParvaGPU(PROFILES).schedule(services))
+
+    for idx, slo, rate in seq:
+        changed = services[idx]
+        cap_before = {
+            svc.id: manager.current.total_capacity(svc.id)
+            for svc in services
+            if svc.id != changed.id
+        }
+        try:
+            placement, plan = manager.update_slo(
+                services, changed, new_slo_ms=slo, new_rate=rate
+            )
+        except Exception as exc:
+            # only legitimate infeasibility may escape
+            from repro.core.service import InfeasibleServiceError
+
+            assert isinstance(exc, InfeasibleServiceError)
+            return
+
+        placement.validate()  # MIG legality preserved
+        # every service still covered, and untouched services never *lose*
+        # capacity (Allocation Optimization may split-and-move a bystander
+        # when draining a fragmented GPU, but the split covers the freed
+        # throughput by construction)
+        for svc in services:
+            assert placement.total_capacity(svc.id) >= svc.request_rate * (
+                1 - 1e-9
+            )
+        for sid, cap in cap_before.items():
+            assert placement.total_capacity(sid) >= cap * (1 - 1e-6) or (
+                placement.total_capacity(sid)
+                >= next(s for s in services if s.id == sid).request_rate
+            )
+        # the cluster mirrors the map
+        assert manager.cluster.used_gpu_count() == placement.num_gpus

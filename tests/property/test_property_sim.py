@@ -1,0 +1,65 @@
+"""Property-based tests for the discrete-event simulator's conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.placement import PlacedSegment, Placement
+from repro.core.service import Service
+from repro.sim import simulate_placement
+
+sim_params = st.tuples(
+    st.floats(min_value=50.0, max_value=1500.0),  # capacity
+    st.floats(min_value=0.2, max_value=1.4),  # load factor
+    st.sampled_from([1, 2, 4, 8, 16]),  # batch
+    st.sampled_from([1, 2, 3]),  # procs
+    st.integers(min_value=0, max_value=5),  # seed
+)
+
+
+def build(capacity, served, batch, procs):
+    placement = Placement(framework="prop")
+    placement.add(
+        0,
+        PlacedSegment(
+            service_id="svc",
+            model="resnet-50",
+            kind="mig",
+            gpcs=2.0,
+            batch_size=batch,
+            num_processes=procs,
+            capacity=capacity,
+            latency_ms=25.0,
+            sm_activity=0.9,
+            start=0,
+            served_rate=served,
+        ),
+    )
+    service = Service(
+        "svc", "resnet-50", slo_latency_ms=400.0, request_rate=max(served, 1.0)
+    )
+    return placement, service
+
+
+@given(sim_params)
+@settings(max_examples=40, deadline=None)
+def test_conservation_and_bounds(params):
+    capacity, load, batch, procs, seed = params
+    served = capacity * load
+    placement, service = build(capacity, served, batch, procs)
+    report = simulate_placement(
+        placement, [service], duration_s=1.0, warmup_s=0.2, seed=seed,
+        arrivals="poisson",
+    )
+    # compliance is a probability
+    assert 0.0 <= report.overall_compliance <= 1.0
+    # goodput cannot exceed offered load by more than Poisson count
+    # fluctuation plus batching edge effects
+    offered = served * report.duration_s
+    assert report.completed["svc"] <= offered + 5 * offered**0.5 + batch
+    # activity is a valid DCGM reading
+    for activity in report.segment_activity.values():
+        assert 0.0 <= activity <= 1.0
+    # latency statistics are consistent
+    stats = report.services["svc"]
+    if stats.requests:
+        assert stats.latency_max_ms >= stats.latency_sum_ms / stats.requests / 2

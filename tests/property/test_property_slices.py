@@ -1,0 +1,53 @@
+"""Property-based tests for slice bitmask arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.slices import (
+    FULL_MASK,
+    NUM_SLICES,
+    free_slices,
+    iter_runs,
+    largest_free_run,
+    mask_of,
+    popcount,
+    slice_indices,
+)
+
+masks = st.integers(min_value=0, max_value=FULL_MASK)
+
+
+@given(masks)
+def test_indices_roundtrip(mask):
+    assert mask_of(slice_indices(mask)) == mask
+
+
+@given(masks)
+def test_popcount_matches_indices(mask):
+    assert popcount(mask) == len(slice_indices(mask))
+
+
+@given(masks)
+def test_free_plus_occupied_partition(mask):
+    occupied = set(slice_indices(mask))
+    free = set(free_slices(mask))
+    assert occupied | free == set(range(NUM_SLICES))
+    assert not occupied & free
+
+
+@given(masks)
+def test_runs_cover_mask_exactly(mask):
+    covered = 0
+    prev_end = -2
+    for start, length in iter_runs(mask):
+        assert length >= 1
+        assert start > prev_end + 1  # maximal runs never touch
+        prev_end = start + length - 1
+        covered |= ((1 << length) - 1) << start
+    assert covered == mask
+
+
+@given(masks)
+def test_largest_free_run_bounds(mask):
+    run = largest_free_run(mask)
+    assert 0 <= run <= NUM_SLICES - popcount(mask)

@@ -1,0 +1,103 @@
+"""Unit tests: Table IV transcription and the scaling sweep."""
+
+import pytest
+
+from repro.scenarios import get_scenario, scaled_scenario, scenario_services
+from repro.scenarios.table4 import SCENARIO_NAMES, SCENARIOS
+
+
+class TestTableIV:
+    def test_six_scenarios(self):
+        assert SCENARIO_NAMES == ("S1", "S2", "S3", "S4", "S5", "S6")
+
+    def test_s1_has_six_models(self):
+        assert len(SCENARIOS["S1"].loads) == 6
+        assert "densenet-169" not in SCENARIOS["S1"].models  # N/A in Table IV
+
+    def test_s2_through_s6_have_eleven(self):
+        for name in ("S2", "S3", "S4", "S5", "S6"):
+            assert len(SCENARIOS[name].loads) == 11
+
+    @pytest.mark.parametrize(
+        "scenario,model,rate,lat",
+        [
+            ("S1", "bert-large", 19, 6434),
+            ("S1", "vgg-19", 354, 397),
+            ("S2", "resnet-50", 829, 205),
+            ("S3", "mobilenetv2", 1546, 113),
+            ("S4", "inceptionv3", 1576, 282),
+            ("S5", "bert-large", 843, 2153),
+            ("S5", "mobilenetv2", 5009, 59),
+            ("S6", "mobilenetv2", 7513, 167),
+            ("S6", "vgg-19", 2296, 397),
+        ],
+    )
+    def test_exact_cells(self, scenario, model, rate, lat):
+        load = SCENARIOS[scenario].load_for(model)
+        assert load.request_rate == rate
+        assert load.slo_latency_ms == lat
+
+    def test_s3_s4_share_slos(self):
+        for m in SCENARIOS["S3"].models:
+            assert (
+                SCENARIOS["S3"].load_for(m).slo_latency_ms
+                == SCENARIOS["S4"].load_for(m).slo_latency_ms
+            )
+
+    def test_s2_s6_share_slos(self):
+        for m in SCENARIOS["S2"].models:
+            assert (
+                SCENARIOS["S2"].load_for(m).slo_latency_ms
+                == SCENARIOS["S6"].load_for(m).slo_latency_ms
+            )
+
+    def test_total_rate_ordering(self):
+        totals = [SCENARIOS[n].total_rate for n in SCENARIO_NAMES]
+        assert totals == sorted(totals)  # S1 lightest ... S6 heaviest
+
+    def test_lookup_case_insensitive(self):
+        assert get_scenario("s3").name == "S3"
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("S9")
+
+
+class TestServiceBuilding:
+    def test_services_fresh_each_call(self):
+        a = scenario_services("S2")
+        b = scenario_services("S2")
+        assert a[0] is not b[0]
+
+    def test_services_match_loads(self):
+        services = scenario_services("S5")
+        sc = get_scenario("S5")
+        for svc in services:
+            load = sc.load_for(svc.model)
+            assert svc.request_rate == load.request_rate
+            assert svc.slo_latency_ms == load.slo_latency_ms
+
+
+class TestScaling:
+    def test_factor_one_is_identity(self):
+        assert len(scaled_scenario(1)) == 11
+
+    def test_factor_k_multiplies(self):
+        services = scaled_scenario(4)
+        assert len(services) == 44
+        ids = {s.id for s in services}
+        assert len(ids) == 44  # distinct service ids
+
+    def test_copies_share_load_shape(self):
+        services = scaled_scenario(3)
+        berts = [s for s in services if s.model == "bert-large"]
+        assert len(berts) == 3
+        assert all(s.request_rate == berts[0].request_rate for s in berts)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scaled_scenario(0)
+
+    def test_custom_base(self):
+        services = scaled_scenario(2, base="S1")
+        assert len(services) == 12

@@ -1,0 +1,59 @@
+"""Unit tests for arrival generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
+
+
+class TestPoisson:
+    def test_rate_matches(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(1000.0, 10.0, rng)
+        assert len(times) == pytest.approx(10000, rel=0.05)
+
+    def test_sorted_and_bounded(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrivals(500.0, 2.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0
+        assert times[-1] < 2.0
+
+    def test_zero_rate(self):
+        rng = np.random.default_rng(0)
+        assert len(poisson_arrivals(0.0, 10.0, rng)) == 0
+
+    def test_negative_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 1.0, rng)
+
+    def test_reproducible(self):
+        a = poisson_arrivals(100.0, 1.0, np.random.default_rng(7))
+        b = poisson_arrivals(100.0, 1.0, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_exponential_gaps(self):
+        rng = np.random.default_rng(3)
+        times = poisson_arrivals(2000.0, 10.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1 / 2000.0, rel=0.05)
+        assert gaps.std() == pytest.approx(1 / 2000.0, rel=0.1)  # CV ~ 1
+
+
+class TestUniform:
+    def test_exact_count(self):
+        assert len(uniform_arrivals(100.0, 2.0)) == 200
+
+    def test_even_spacing(self):
+        times = uniform_arrivals(10.0, 1.0)
+        assert np.allclose(np.diff(times), 0.1)
+
+    def test_bounded(self):
+        times = uniform_arrivals(100.0, 1.0)
+        assert times[0] >= 0
+        assert times[-1] < 1.0
+
+    def test_degenerate(self):
+        assert len(uniform_arrivals(0.0, 1.0)) == 0
+        assert len(uniform_arrivals(10.0, 0.0)) == 0

@@ -1,0 +1,54 @@
+"""Unit tests for the batch assembly policy."""
+
+import pytest
+
+from repro.sim.batching import BatchPolicy
+
+
+def policy(batch=8, slo=100.0, exec_ms=40.0, safety=2.0):
+    return BatchPolicy(
+        batch_size=batch, slo_ms=slo, exec_estimate_ms=exec_ms, safety_ms=safety
+    )
+
+
+class TestValidation:
+    def test_bad_batch(self):
+        with pytest.raises(ValueError):
+            policy(batch=0)
+
+    def test_bad_slo(self):
+        with pytest.raises(ValueError):
+            policy(slo=0.0)
+
+
+class TestFlushWait:
+    def test_budget_arithmetic(self):
+        assert policy().flush_wait_ms == pytest.approx(100 - 40 - 2)
+
+    def test_never_negative(self):
+        assert policy(slo=30.0, exec_ms=40.0).flush_wait_ms == 0.0
+
+    def test_deadline_in_seconds(self):
+        p = policy()
+        assert p.flush_deadline(2.0) == pytest.approx(2.0 + 0.058)
+
+
+class TestShouldDispatch:
+    def test_full_batch_dispatches(self):
+        assert policy().should_dispatch(queue_len=8, oldest_wait_ms=0.0)
+
+    def test_overfull_dispatches(self):
+        assert policy().should_dispatch(queue_len=20, oldest_wait_ms=0.0)
+
+    def test_partial_waits(self):
+        assert not policy().should_dispatch(queue_len=3, oldest_wait_ms=10.0)
+
+    def test_partial_flushes_at_deadline(self):
+        assert policy().should_dispatch(queue_len=3, oldest_wait_ms=58.0)
+
+    def test_empty_never_dispatches(self):
+        assert not policy().should_dispatch(queue_len=0, oldest_wait_ms=999.0)
+
+    def test_zero_budget_dispatches_immediately(self):
+        p = policy(slo=30.0, exec_ms=40.0)  # flush wait clamps to 0
+        assert p.should_dispatch(queue_len=1, oldest_wait_ms=0.0)

@@ -1,0 +1,61 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        for t in (3.0, 1.0, 2.0):
+            q.schedule(t, lambda now, p: fired.append(p), t)
+        q.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda now, p: fired.append(p), "first")
+        q.schedule(1.0, lambda now, p: fired.append(p), "second")
+        q.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda now, p: None)
+        q.run()
+        assert q.now == 5.0
+
+    def test_run_until_stops(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda now, p: fired.append(1))
+        q.schedule(10.0, lambda now, p: fired.append(10))
+        n = q.run(until=5.0)
+        assert n == 1
+        assert fired == [1]
+        assert q.pending == 1
+        assert q.now == 5.0  # clock advanced to the horizon
+
+    def test_cascading_events(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(now, depth):
+            fired.append(depth)
+            if depth < 3:
+                q.schedule(now + 1.0, chain, depth + 1)
+
+        q.schedule(0.0, chain, 0)
+        q.run()
+        assert fired == [0, 1, 2, 3]
+        assert q.processed == 4
+
+    def test_scheduling_in_the_past_rejected(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda now, p: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, lambda now, p: None)

@@ -1,0 +1,124 @@
+"""Unit tests for the segment server: batching, concurrency, flush safety."""
+
+import pytest
+
+from repro.core.placement import PlacedSegment
+from repro.gpu.telemetry import SMActivityTracker
+from repro.sim.engine import EventQueue
+from repro.sim.metrics import BatchRecord
+from repro.sim.server import SegmentServer
+
+
+def make_server(batch=4, procs=2, slo=200.0, capacity=400.0, gpcs=2.0):
+    events = EventQueue()
+    tracker = SMActivityTracker()
+    records: list[BatchRecord] = []
+    seg = PlacedSegment(
+        service_id="svc",
+        model="resnet-50",
+        kind="mig",
+        gpcs=gpcs,
+        batch_size=batch,
+        num_processes=procs,
+        capacity=capacity,
+        latency_ms=20.0,
+        sm_activity=0.9,
+        start=0,
+        served_rate=capacity * 0.8,
+    )
+    server = SegmentServer(
+        key="gpu0/svc/0",
+        segment=seg,
+        slo_ms=slo,
+        events=events,
+        tracker=tracker,
+        on_batch=records.append,
+        warmup_s=0.0,
+    )
+    return server, events, records
+
+
+class TestBatching:
+    def test_full_batch_dispatches_immediately(self):
+        server, events, records = make_server(batch=4)
+        for i in range(4):
+            events.schedule(i * 1e-4, server.on_arrival)
+        events.run()
+        assert len(records) == 1
+        assert records[0].batch_size == 4
+
+    def test_partial_batch_flushes_by_deadline(self):
+        server, events, records = make_server(batch=32, slo=100.0)
+        events.schedule(0.0, server.on_arrival)
+        events.run()
+        assert len(records) == 1
+        assert records[0].batch_size == 1
+        # flushed early enough to make the SLO
+        assert not records[0].violated
+
+    def test_oversized_queue_splits_into_batches(self):
+        server, events, records = make_server(batch=4, procs=3)
+        for i in range(12):
+            events.schedule(i * 1e-5, server.on_arrival)
+        events.run()
+        assert sum(r.batch_size for r in records) == 12
+        assert all(r.batch_size <= 4 for r in records)
+
+
+class TestConcurrency:
+    def test_never_exceeds_process_count(self):
+        server, events, records = make_server(batch=1, procs=2)
+        for i in range(50):
+            events.schedule(i * 1e-6, server.on_arrival)
+        # after the burst lands, at most `procs` executors may be busy
+        events.run(until=1e-3)
+        assert server.free_procs >= 0
+        assert server.segment.num_processes - server.free_procs <= 2
+        events.run()
+        assert sum(r.batch_size for r in records) == 50
+
+    def test_all_requests_eventually_served(self):
+        server, events, records = make_server(batch=8, procs=1)
+        for i in range(30):
+            events.schedule(i * 0.001, server.on_arrival)
+        events.run()
+        assert sum(r.batch_size for r in records) == 30
+
+
+class TestOverloadSafety:
+    def test_no_livelock_when_saturated(self):
+        """The regression the first implementation hit: all processes busy
+        plus an overdue queue head must not spin the event loop."""
+        server, events, records = make_server(batch=2, procs=1, slo=30.0)
+        for i in range(200):
+            events.schedule(i * 1e-5, server.on_arrival)
+        processed = events.run(until=5.0)
+        assert processed < 10_000  # would be millions in a livelock
+        assert sum(r.batch_size for r in records) == 200
+
+    def test_late_batches_marked_violated(self):
+        server, events, records = make_server(batch=2, procs=1, slo=25.0)
+        for i in range(40):
+            events.schedule(i * 1e-5, server.on_arrival)
+        events.run()
+        assert any(r.violated for r in records)
+        worst = max(r.max_request_latency_ms for r in records)
+        assert worst > 25.0
+
+
+class TestSlowdown:
+    def test_interference_slowdown_applied(self):
+        events = EventQueue()
+        tracker = SMActivityTracker()
+        records: list[BatchRecord] = []
+        seg = PlacedSegment(
+            service_id="svc", model="resnet-50", kind="mps", gpcs=3.5,
+            batch_size=4, num_processes=1, capacity=100.0,
+            latency_ms=80.0,  # scheduler expected heavy interference
+            sm_activity=0.9, served_rate=50.0,
+        )
+        server = SegmentServer(
+            key="k", segment=seg, slo_ms=400.0, events=events,
+            tracker=tracker, on_batch=records.append,
+        )
+        assert server.slowdown > 1.0

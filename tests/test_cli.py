@@ -1,0 +1,54 @@
+"""Tests for the ``parvagpu`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.scenario == "S2"
+        assert args.framework == "parvagpu"
+
+    def test_simulate_arrival_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--arrivals", "bursty"])
+
+
+class TestCommands:
+    def test_schedule_prints_map(self, capsys):
+        assert main(["schedule", "--scenario", "S1"]) == 0
+        out = capsys.readouterr().out
+        assert "GPUs" in out and "GPU 0:" in out
+
+    def test_schedule_infeasible_returns_error(self, capsys):
+        assert main(["schedule", "--scenario", "S5", "--framework", "igniter"]) == 1
+        assert "infeasible" in capsys.readouterr().err
+
+    def test_profile_lists_points(self, capsys):
+        assert main(["profile", "mobilenetv2"]) == 0
+        out = capsys.readouterr().out
+        assert "operating points" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "ParvaGPU" in capsys.readouterr().out
+
+    def test_simulate_s1(self, capsys):
+        assert (
+            main(["simulate", "--scenario", "S1", "--duration", "1.0"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "SLO compliance" in out
+
+    def test_experiment_module_main(self, capsys):
+        from repro.experiments.__main__ import main as exp_main
+
+        assert exp_main(["fig1"]) == 0
+        assert "19 configurations" in capsys.readouterr().out
+        assert exp_main(["nope"]) == 2
