@@ -2,8 +2,13 @@
 
 Efficient spatial GPU sharing for large-scale DNN inference: combined
 MIG + MPS scheduling via the Segment Configurator / Segment Allocator,
-every baseline it was evaluated against, and a simulated multi-A100
-substrate with a discrete-event serving simulator.
+every baseline it was evaluated against, and a simulated multi-GPU
+substrate with a discrete-event serving simulator.  Scheduling is
+formulated over pluggable *partition geometries*: the paper's A100-class
+MIG rules (:data:`repro.gpu.mig.MIG_GEOMETRY`) and AMD MI300X XCD
+partitioning (:data:`repro.gpu.amd.MI300X_GEOMETRY`) ship in-tree, and
+heterogeneous clusters mixing both are scheduled by
+:class:`~repro.core.hetero.HeterogeneousParvaGPU`.
 
 Quickstart::
 
@@ -16,10 +21,21 @@ Quickstart::
     ]
     placement = ParvaGPU(profiles).schedule(services)
     print(placement.num_gpus, "GPUs")
+
+Retarget the same pipeline at an MI300X fleet::
+
+    from repro import get_geometry
+
+    amd = get_geometry("mi300x")
+    placement = ParvaGPU(
+        profile_workloads(geometry=amd), geometry=amd
+    ).schedule(services)
 """
 
 from repro.core import (
     DeploymentManager,
+    GeometryPool,
+    HeterogeneousParvaGPU,
     ParvaGPU,
     Placement,
     Prediction,
@@ -37,7 +53,15 @@ from repro.baselines import (
     all_frameworks,
     make_framework,
 )
-from repro.gpu import GPU, Cluster
+from repro.gpu import (
+    GPU,
+    Cluster,
+    MI300X_GEOMETRY,
+    MIG_GEOMETRY,
+    PartitionGeometry,
+    available_geometries,
+    get_geometry,
+)
 from repro.metrics import external_fragmentation, internal_slack
 from repro.profiler import ProfileTable, Profiler, profile_workloads
 from repro.scenarios import get_scenario, scaled_scenario, scenario_services
@@ -63,6 +87,13 @@ __all__ = [
     "make_framework",
     "GPU",
     "Cluster",
+    "MI300X_GEOMETRY",
+    "MIG_GEOMETRY",
+    "PartitionGeometry",
+    "available_geometries",
+    "get_geometry",
+    "GeometryPool",
+    "HeterogeneousParvaGPU",
     "external_fragmentation",
     "internal_slack",
     "ProfileTable",

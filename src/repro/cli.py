@@ -2,12 +2,21 @@
 
 Subcommands:
 
-- ``parvagpu schedule --scenario S2 [--framework parvagpu]`` — schedule a
-  Table-IV scenario and print the deployment map + headline metrics.
+- ``parvagpu schedule --scenario S2 [--framework parvagpu]
+  [--geometry mig|mi300x|mixed]`` — schedule a scenario and print the
+  deployment map + headline metrics.
 - ``parvagpu experiment fig5 [fig6 ...]`` — regenerate paper tables/figures.
-- ``parvagpu profile resnet-50`` — print a workload's profile table.
-- ``parvagpu simulate --scenario S2 --framework gpulet`` — run the
-  discrete-event simulator and report SLO compliance.
+- ``parvagpu profile resnet-50 [--geometry mi300x]`` — print a workload's
+  profile table.
+- ``parvagpu simulate --scenario S2 --framework gpulet
+  [--geometry mig|mi300x|mixed]`` — run the discrete-event simulator and
+  report SLO compliance.
+
+``--geometry`` selects the partition geometry of the fleet: ``mig`` (the
+paper's A100 fleet, default), any other registered geometry name (e.g.
+``mi300x``), or ``mixed`` for a heterogeneous A100+MI300X cluster.
+Non-MIG geometries are ParvaGPU-only — the baselines are tied to
+NVIDIA-specific mechanisms (MPS percentages, MIG configurations).
 """
 
 from __future__ import annotations
@@ -16,36 +25,91 @@ import argparse
 import sys
 
 from repro.baselines import InfeasibleScheduleError, make_framework
+from repro.core.hetero import make_mixed_scheduler
+from repro.core.parvagpu import ParvaGPU
+from repro.core.service import InfeasibleServiceError
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.gpu.geometry import available_geometries, get_geometry
 from repro.metrics import external_fragmentation, internal_slack
 from repro.profiler import profile_workloads
 from repro.scenarios import scenario_services
 from repro.sim import simulate_placement
 
+#: Geometry names whose fleets mix MIG A100s and MI300Xs.
+MIXED_GEOMETRY = "mixed"
+
+_PARVAGPU_FAMILY = ("parvagpu", "parvagpu-single", "parvagpu-unoptimized")
+
+
+def _make_scheduler(framework: str, geometry: str):
+    """Build (scheduler, services-independent) for a geometry choice."""
+    key = framework.strip().lower()
+    if geometry == MIXED_GEOMETRY:
+        if key != "parvagpu":
+            raise ValueError(
+                "mixed-geometry clusters are scheduled by the heterogeneous "
+                "ParvaGPU pipeline; use --framework parvagpu"
+            )
+        return make_mixed_scheduler()
+    geo = get_geometry(geometry)
+    if geo.name == "mig":
+        return make_framework(framework, profile_workloads())
+    if key not in _PARVAGPU_FAMILY:
+        raise ValueError(
+            f"framework {framework!r} only supports the MIG geometry; "
+            f"on {geo.name} use one of {', '.join(_PARVAGPU_FAMILY)}"
+        )
+    profiles = profile_workloads(geometry=geo)
+    return ParvaGPU(
+        profiles,
+        use_mps=key != "parvagpu-single",
+        optimize=key != "parvagpu-unoptimized",
+        geometry=geo,
+    )
+
+
+def _unquote(exc: BaseException) -> str:
+    """KeyError str()s to its repr'd message; unwrap for clean CLI output."""
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc)
+
+
+def _schedule(args: argparse.Namespace):
+    """Shared schedule step; returns (services, placement) or exits."""
+    services = scenario_services(args.scenario)
+    fw = _make_scheduler(args.framework, args.geometry)
+    placement = fw.schedule(services)
+    return services, placement
+
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
-    profiles = profile_workloads()
-    services = scenario_services(args.scenario)
-    fw = make_framework(args.framework, profiles)
     try:
-        placement = fw.schedule(services)
-    except InfeasibleScheduleError as exc:
+        _, placement = _schedule(args)
+    except (InfeasibleScheduleError, InfeasibleServiceError) as exc:
         print(f"infeasible: {exc}", file=sys.stderr)
         return 1
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
+    fleet = "+".join(placement.geometries())
+    fleet_note = f" [{fleet}]" if fleet != "mig" else ""
     print(
-        f"{args.framework} on {args.scenario}: {placement.num_gpus} GPUs, "
+        f"{placement.framework} on {args.scenario}: "
+        f"{placement.num_gpus} GPUs{fleet_note}, "
         f"delay {placement.scheduling_delay_ms:.2f} ms, "
         f"internal slack {100 * internal_slack(placement):.1f}%, "
         f"external fragmentation {100 * external_fragmentation(placement):.1f}%"
     )
     for plan in placement.gpus:
+        tag = f" ({plan.geometry})" if plan.geometry != "mig" else ""
         parts = ", ".join(
             f"{s.service_id}"
             f"[{s.gpcs:g}g{'@' + str(s.start) if s.start is not None else ''}"
             f" b{s.batch_size} p{s.num_processes}]"
             for s in plan.segments
         )
-        print(f"  GPU {plan.gpu_id}: {parts}")
+        print(f"  GPU {plan.gpu_id}{tag}: {parts}")
     return 0
 
 
@@ -68,7 +132,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    table = profile_workloads([args.model])[args.model]
+    try:
+        if args.geometry == MIXED_GEOMETRY:
+            raise ValueError(
+                "profiles are measured per geometry; pick one "
+                f"({', '.join(available_geometries())})"
+            )
+        geometry = None if args.geometry == "mig" else get_geometry(args.geometry)
+        table = profile_workloads([args.model], geometry=geometry)[args.model]
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
     print(f"{args.model}: {len(table)} operating points")
     print(f"{'size':>4} {'batch':>5} {'procs':>5} {'lat ms':>8} {'req/s':>8} {'mem GB':>7}")
     for e in table:
@@ -80,14 +154,14 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    profiles = profile_workloads()
-    services = scenario_services(args.scenario)
-    fw = make_framework(args.framework, profiles)
     try:
-        placement = fw.schedule(services)
-    except InfeasibleScheduleError as exc:
+        services, placement = _schedule(args)
+    except (InfeasibleScheduleError, InfeasibleServiceError) as exc:
         print(f"infeasible: {exc}", file=sys.stderr)
         return 1
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
     report = simulate_placement(
         placement,
         services,
@@ -96,7 +170,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         arrivals=args.arrivals,
     )
     print(
-        f"{args.framework} on {args.scenario}: "
+        f"{placement.framework} on {args.scenario}: "
         f"SLO compliance {100 * report.overall_compliance:.2f}% "
         f"({report.events_processed} events)"
     )
@@ -105,15 +179,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_geometry_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--geometry",
+        default="mig",
+        help=(
+            "partition geometry of the fleet: "
+            f"{', '.join(available_geometries())}, or '{MIXED_GEOMETRY}' "
+            "for a heterogeneous A100+MI300X cluster (default: mig)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="parvagpu", description="ParvaGPU reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("schedule", help="schedule a Table-IV scenario")
+    p = sub.add_parser("schedule", help="schedule an evaluation scenario")
     p.add_argument("--scenario", default="S2")
     p.add_argument("--framework", default="parvagpu")
+    _add_geometry_flag(p)
     p.set_defaults(func=_cmd_schedule)
 
     p = sub.add_parser("experiment", help="regenerate paper tables/figures")
@@ -124,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profile", help="print a workload's profile table")
     p.add_argument("model")
+    _add_geometry_flag(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("simulate", help="simulate serving a scenario")
@@ -132,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--arrivals", choices=("uniform", "poisson"), default="uniform")
+    _add_geometry_flag(p)
     p.set_defaults(func=_cmd_simulate)
     return parser
 

@@ -11,6 +11,8 @@
 - :mod:`repro.core.deployment`   -- mapping a deployment map onto a
   :class:`~repro.gpu.cluster.Cluster`, plus the SIII-F SLO-update path.
 - :mod:`repro.core.parvagpu`     -- the end-to-end scheduler facade.
+- :mod:`repro.core.hetero`       -- ParvaGPU over heterogeneous clusters
+  mixing partition geometries (A100 MIG + MI300X XCD).
 - :mod:`repro.core.predictor`    -- the SIV-D predictor (no physical GPUs).
 """
 
@@ -20,10 +22,13 @@ from repro.core.placement import GPUPlan, Placement, PlacedSegment
 from repro.core.configurator import SegmentConfigurator
 from repro.core.allocator import SegmentAllocator, OPTIMIZATION_GPC_THRESHOLD
 from repro.core.parvagpu import ParvaGPU
+from repro.core.hetero import GeometryPool, HeterogeneousParvaGPU
 from repro.core.deployment import DeploymentManager
 from repro.core.predictor import Prediction, Predictor
 
 __all__ = [
+    "GeometryPool",
+    "HeterogeneousParvaGPU",
     "Service",
     "InfeasibleServiceError",
     "Segment",

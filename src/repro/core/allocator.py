@@ -8,20 +8,27 @@ Two stages:
    first, placing each segment on the first GPU with a feasible slot —
    first-fit-decreasing, the classic heuristic for irregular packing.
 
-   Slot preferences implement SIII-E1 verbatim:
+   Slot preferences come from the partition geometry.  The MIG geometry
+   implements SIII-E1 verbatim:
 
    * sizes 7 and 4 only fit slot 0;
    * size 3 prefers slot 4 (slot 0 would block slice 3, wasting a GPC);
    * size 2 prefers slots 0/2, avoiding 4/5 which size-3 segments need;
    * size 1 fills slots 0-3 before 4-6 for the same reason.
 
+   The MI300X geometry has no blocking rule — partition sizes tile the 8
+   XCDs — but adds a coexistence rule instead: compute-partition modes are
+   device-wide, so a GPU only accepts segments of one size and first-fit
+   naturally groups same-sized segments per device.
+
 2. **Allocation Optimization** (``ALLOCATIONOPTIMIZATION``): walking GPUs
    from the back, any GPU with at most ``threshold`` (= 4, the paper's
-   heuristic) allocated GPCs is drained; the freed throughput is re-covered
-   with size-1/2 segments taken from each service's optimal-triplet array
-   and repacked into the holes of front GPUs.  Surplus capacity from one
-   GPU's split is credited against the next (the ``freed_rate`` array), so
-   the split emits the fewest small segments possible.
+   heuristic) allocated slices is drained; the freed throughput is
+   re-covered with small segments (geometry ``small_sizes``) taken from
+   each service's optimal-triplet array and repacked into the holes of
+   front GPUs.  Surplus capacity from one GPU's split is credited against
+   the next (the ``freed_rate`` array), so the split emits the fewest
+   small segments possible.
 """
 
 from __future__ import annotations
@@ -32,36 +39,28 @@ from typing import Iterable, Mapping, Optional, Sequence
 from repro.core.placement import GPUPlan, PlacedSegment, Placement
 from repro.core.segments import Segment
 from repro.core.service import Service
-from repro.gpu.mig import MigLayout, PlacedInstance
+from repro.gpu.geometry import PartitionGeometry, PartitionLayout
+from repro.gpu.mig import MIG_GEOMETRY
 from repro.profiler.table import ProfileEntry
 
-#: GPUs with at most this many allocated GPCs are considered fragmented and
-#: drained by Allocation Optimization (SIII-E2 sets it to 4 heuristically).
+#: GPUs with at most this many allocated slices are considered fragmented
+#: and drained by Allocation Optimization (SIII-E2 sets it to 4
+#: heuristically; the same default serves the 8-XCD MI300X well).
 OPTIMIZATION_GPC_THRESHOLD = 4
 
-#: Preferred slots per segment size (SIII-E1).  A segment is first offered
-#: these slots on every GPU; only if none fits anywhere do the fallback
-#: slots come into play.
-SLOT_PREFERENCES: dict[int, tuple[int, ...]] = {
-    7: (0,),
-    4: (0,),
-    3: (4,),
-    2: (0, 2),
-    1: (0, 1, 2, 3),
-}
+#: MIG slot preferences per segment size (SIII-E1) — retained as module
+#: constants for historical callers; the geometry object is the source of
+#: truth (``MIG_GEOMETRY.slot_preferences``).
+SLOT_PREFERENCES: dict[int, tuple[int, ...]] = dict(
+    MIG_GEOMETRY.slot_preferences
+)
 
-#: Fallback slots, used only when no preferred slot exists on any GPU.
+#: MIG fallback slots, used only when no preferred slot exists on any GPU.
 #: Size 3 has none: slot 0 would block slice 3 outright (configurations 5-7
 #: of Figure 1), so the allocator opens a new GPU instead — the paper's
 #: "the decision is made to place it in that GPU or in the next available
 #: GPU, taking into account the constraints of the MIG configurations".
-SLOT_FALLBACKS: dict[int, tuple[int, ...]] = {
-    7: (),
-    4: (),
-    3: (),
-    2: (4, 5),
-    1: (4, 5, 6),
-}
+SLOT_FALLBACKS: dict[int, tuple[int, ...]] = dict(MIG_GEOMETRY.slot_fallbacks)
 
 
 @dataclass
@@ -69,8 +68,13 @@ class _GPUState:
     """Mutable per-GPU build state during allocation."""
 
     gpu_id: int
-    layout: MigLayout = field(default_factory=MigLayout)
+    geometry: PartitionGeometry = MIG_GEOMETRY
+    layout: PartitionLayout = None  # type: ignore[assignment]
     placed: list[tuple[Segment, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.layout is None:
+            self.layout = PartitionLayout(self.geometry)
 
     @property
     def used_gpcs(self) -> int:
@@ -82,14 +86,16 @@ class _GPUState:
 
     def try_place(self, seg: Segment, fallback: bool = False) -> Optional[int]:
         """Place ``seg`` at a preferred (or fallback) slot, or return None."""
+        if seg.geometry.name != self.geometry.name:
+            return None  # a segment never lands on a foreign-geometry GPU
         slots = (
-            SLOT_FALLBACKS[seg.instance_size]
+            self.geometry.fallback_slots(seg.instance_size)
             if fallback
-            else SLOT_PREFERENCES[seg.instance_size]
+            else self.geometry.preferred_slots(seg.instance_size)
         )
         for start in slots:
             if self.layout.can_add(seg.instance_size, start):
-                self.layout.add(PlacedInstance(seg.instance_size, start))
+                self.layout.add(self.geometry.place(seg.instance_size, start))
                 self.placed.append((seg, start))
                 return start
         return None
@@ -98,26 +104,73 @@ class _GPUState:
         """Drain every segment, returning them."""
         segs = [s for s, _ in self.placed]
         self.placed.clear()
-        self.layout = MigLayout()
+        self.layout = PartitionLayout(self.geometry)
         return segs
+
+
+def states_from_placement(
+    placement: Placement,
+    exclude_service: Optional[str] = None,
+    skip_gpu: Optional[int] = None,
+) -> list[_GPUState]:
+    """Rebuild allocator build-state from a live deployment map.
+
+    Shared by the SIII-F SLO-update path and failover: each plan's state
+    carries the plan's own geometry, so incremental re-planning on
+    MI300X or mixed placements replays the correct placement rules.
+    Segments of ``exclude_service`` are omitted (they are being re-planned).
+    """
+    from repro.gpu.geometry import get_geometry
+
+    states: list[_GPUState] = []
+    for plan in placement.gpus:
+        if skip_gpu is not None and plan.gpu_id == skip_gpu:
+            continue
+        geometry = get_geometry(plan.geometry)
+        state = _GPUState(gpu_id=plan.gpu_id, geometry=geometry)
+        for seg in plan.segments:
+            if exclude_service is not None and seg.service_id == exclude_service:
+                continue
+            state.layout.add(geometry.place(int(seg.gpcs), seg.start))
+            state.placed.append(
+                (
+                    Segment(
+                        service_id=seg.service_id,
+                        model=seg.model,
+                        instance_size=int(seg.gpcs),
+                        batch_size=seg.batch_size,
+                        num_processes=seg.num_processes,
+                        throughput=seg.capacity,
+                        latency_ms=seg.latency_ms,
+                        sm_activity=seg.sm_activity,
+                        geometry=geometry,
+                    ),
+                    seg.start,
+                )
+            )
+        states.append(state)
+    return states
 
 
 class SegmentAllocator:
     """Runs Algorithm 2 over configured services.
 
     ``optimize=False`` yields the ParvaGPU-unoptimized ablation (Segment
-    Relocation only, Fig. 7's comparison point).
+    Relocation only, Fig. 7's comparison point).  ``geometry`` selects the
+    partition geometry the segments target (MIG by default).
     """
 
     def __init__(
         self,
         optimize: bool = True,
         threshold: int = OPTIMIZATION_GPC_THRESHOLD,
+        geometry: PartitionGeometry = MIG_GEOMETRY,
     ) -> None:
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
         self.optimize = optimize
         self.threshold = threshold
+        self.geometry = geometry
 
     # ------------------------------------------------------------------ #
     # public API
@@ -132,12 +185,12 @@ class SegmentAllocator:
 
     def segment_relocation(self, services: Sequence[Service]) -> list[_GPUState]:
         """``SEGMENTRELOCATION`` (Algorithm 2 lines 3-10)."""
-        queues = self._new_queues()
+        queues = self._new_queues(self.geometry.instance_sizes)
         for svc in services:
             for seg in svc.segments():
                 self._enqueue(queues, seg)
         gpus: list[_GPUState] = []
-        self._allocation(queues, gpus)
+        self._allocation(queues, gpus, self.geometry)
         return gpus
 
     def allocation_optimization(
@@ -149,38 +202,48 @@ class SegmentAllocator:
         for state in reversed(list(gpus)):
             if state.is_empty or state.used_gpcs > self.threshold:
                 continue
+            if state.geometry.name != self.geometry.name:
+                # Mixed re-planning (SLO update / failover over a
+                # heterogeneous placement): draining a foreign-geometry GPU
+                # would re-cover its load with segments carrying the wrong
+                # geometry's profiled throughput.  Leave it untouched.
+                continue
             splittable = [
                 seg
                 for seg, _ in state.placed
-                if self._small_triplets(by_id[seg.service_id])
+                if self._small_triplets(
+                    by_id[seg.service_id], self.geometry.small_sizes
+                )
             ]
             if len(splittable) != len(state.placed):
                 continue  # some service cannot be expressed as small segments
-            queues = self._new_queues()
+            queues = self._new_queues(self.geometry.instance_sizes)
             for seg in state.free_all():
                 svc = by_id[seg.service_id]
                 freed_rate[svc.id] = freed_rate.get(svc.id, 0.0) + seg.throughput
-                for small in self._small_segments(svc, freed_rate[svc.id]):
+                for small in self._small_segments(
+                    svc, freed_rate[svc.id], self.geometry
+                ):
                     freed_rate[svc.id] -= small.throughput
                     self._enqueue(queues, small)
-            self._allocation(queues, gpus)
+            self._allocation(queues, gpus, self.geometry)
         self._compact(gpus)
         return gpus
 
-    @staticmethod
-    def _compact(gpus: list[_GPUState]) -> None:
+    def _compact(self, gpus: list[_GPUState]) -> None:
         """Pull small segments from the back into earlier GPUs' holes.
 
         The final step of "reallocating them to empty spaces, starting from
-        the front GPUs": any size-1/2/3 segment on a later GPU that fits a
-        hole on an earlier GPU moves there, so free capacity concentrates
-        at the allocation frontier instead of lingering as external
-        fragmentation (and a fully-drained tail GPU is released).
+        the front GPUs": any segment no larger than the geometry's
+        ``compact_max_size`` on a later GPU that fits a hole on an earlier
+        GPU moves there, so free capacity concentrates at the allocation
+        frontier instead of lingering as external fragmentation (and a
+        fully-drained tail GPU is released).
         """
         for gi in range(len(gpus) - 1, 0, -1):
             state = gpus[gi]
             for seg, start in sorted(state.placed, key=lambda p: p[0].instance_size):
-                if seg.instance_size > 3:
+                if seg.instance_size > state.geometry.compact_max_size:
                     continue
                 for earlier in gpus[:gi]:
                     if (
@@ -189,7 +252,7 @@ class SegmentAllocator:
                     ):
                         state.placed.remove((seg, start))
                         state.layout.remove(
-                            PlacedInstance(seg.instance_size, start)
+                            state.geometry.place(seg.instance_size, start)
                         )
                         break
 
@@ -198,8 +261,10 @@ class SegmentAllocator:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _new_queues() -> dict[int, list[Segment]]:
-        return {7: [], 4: [], 3: [], 2: [], 1: []}
+    def _new_queues(
+        instance_sizes: tuple[int, ...] = MIG_GEOMETRY.instance_sizes,
+    ) -> dict[int, list[Segment]]:
+        return {size: [] for size in sorted(instance_sizes, reverse=True)}
 
     @staticmethod
     def _enqueue(queues: dict[int, list[Segment]], seg: Segment) -> None:
@@ -207,16 +272,19 @@ class SegmentAllocator:
 
     @staticmethod
     def _allocation(
-        queues: dict[int, list[Segment]], gpus: list[_GPUState]
+        queues: dict[int, list[Segment]],
+        gpus: list[_GPUState],
+        geometry: PartitionGeometry = MIG_GEOMETRY,
     ) -> None:
         """Drain queues largest-size first onto the GPU list.
 
         Per segment: first-fit over every GPU's *preferred* slots, then over
-        fallback slots, then a fresh GPU — so a size-2 only occupies the
-        upper half (slots 4/5) once no lower-half position exists anywhere,
-        and a size-3 never blocks slice 3 by sitting at slot 0.
+        fallback slots, then a fresh GPU — so (on MIG) a size-2 only
+        occupies the upper half (slots 4/5) once no lower-half position
+        exists anywhere, and a size-3 never blocks slice 3 by sitting at
+        slot 0.
         """
-        for size in (7, 4, 3, 2, 1):
+        for size in sorted(queues, reverse=True):
             for seg in queues[size]:
                 placed = any(
                     state.try_place(seg) is not None for state in gpus
@@ -226,7 +294,7 @@ class SegmentAllocator:
                 )
                 if not placed:
                     next_id = max((g.gpu_id for g in gpus), default=-1) + 1
-                    state = _GPUState(gpu_id=next_id)
+                    state = _GPUState(gpu_id=next_id, geometry=geometry)
                     gpus.append(state)
                     if state.try_place(seg) is None:  # pragma: no cover
                         raise RuntimeError(
@@ -239,25 +307,34 @@ class SegmentAllocator:
     # ------------------------------------------------------------------ #
 
     @staticmethod
-    def _small_triplets(service: Service) -> list[ProfileEntry]:
-        """The service's size-1/size-2 optimal triplets, best tp/GPC first."""
+    def _small_triplets(
+        service: Service, small_sizes: tuple[int, ...] = MIG_GEOMETRY.small_sizes
+    ) -> list[ProfileEntry]:
+        """The service's small-size optimal triplets, best tp/slice first."""
         entries = [
-            service.opt_tri_array[s] for s in (1, 2) if s in service.opt_tri_array
+            service.opt_tri_array[s]
+            for s in small_sizes
+            if s in service.opt_tri_array
         ]
         entries.sort(key=lambda e: e.throughput_per_gpc, reverse=True)
         return entries
 
     @classmethod
-    def _small_segments(cls, service: Service, amount: float) -> list[Segment]:
-        """Cover ``amount`` requests/s with size-1/2 segments (SIII-E2).
+    def _small_segments(
+        cls,
+        service: Service,
+        amount: float,
+        geometry: PartitionGeometry = MIG_GEOMETRY,
+    ) -> list[Segment]:
+        """Cover ``amount`` requests/s with small segments (SIII-E2).
 
-        Greedy on throughput-per-GPC, but the final chunk drops to the
+        Greedy on throughput-per-slice, but the final chunk drops to the
         smallest triplet that still covers the remainder so the split emits
         minimal capacity surplus.
         """
         if amount <= 0:
             return []
-        entries = cls._small_triplets(service)
+        entries = cls._small_triplets(service, geometry.small_sizes)
         if not entries:
             return []
         smallest_cover = sorted(entries, key=lambda e: e.throughput)
@@ -268,10 +345,10 @@ class SegmentAllocator:
                 (e for e in smallest_cover if e.throughput >= remaining), None
             )
             if final is not None:
-                out.append(Segment.from_entry(service.id, final))
+                out.append(Segment.from_entry(service.id, final, geometry))
                 break
             best = entries[0]
-            out.append(Segment.from_entry(service.id, best))
+            out.append(Segment.from_entry(service.id, best, geometry))
             remaining -= best.throughput
         return out
 
@@ -279,8 +356,7 @@ class SegmentAllocator:
     # result assembly
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _to_placement(gpus: Iterable[_GPUState]) -> Placement:
+    def _to_placement(self, gpus: Iterable[_GPUState]) -> Placement:
         """Build the deployment map, *preserving* GPU ids.
 
         Ids are kept (not renumbered) so that incremental callers — the
@@ -291,13 +367,13 @@ class SegmentAllocator:
         for state in gpus:
             if state.is_empty:
                 continue
-            plan = GPUPlan(gpu_id=state.gpu_id)
+            plan = GPUPlan(gpu_id=state.gpu_id, geometry=state.geometry.name)
             for seg, start in state.placed:
                 plan.segments.append(
                     PlacedSegment(
                         service_id=seg.service_id,
                         model=seg.model,
-                        kind="mig",
+                        kind=state.geometry.kind,
                         gpcs=float(seg.instance_size),
                         batch_size=seg.batch_size,
                         num_processes=seg.num_processes,
@@ -305,6 +381,7 @@ class SegmentAllocator:
                         latency_ms=seg.latency_ms,
                         sm_activity=seg.sm_activity,
                         start=start,
+                        geometry=state.geometry.name,
                     )
                 )
             placement.gpus.append(plan)

@@ -24,6 +24,8 @@ from typing import Iterable, Mapping, Optional
 
 from repro.core.segments import Segment
 from repro.core.service import InfeasibleServiceError, Service
+from repro.gpu.geometry import PartitionGeometry
+from repro.gpu.mig import MIG_GEOMETRY
 from repro.profiler.table import ProfileEntry, ProfileTable
 
 #: Relative tolerance when comparing profiled throughputs: profile noise
@@ -36,18 +38,22 @@ class SegmentConfigurator:
 
     ``max_processes`` exists for the ParvaGPU-single ablation: setting it
     to 1 restricts the triplet search to single-process points, i.e. MIG
-    without MPS.
+    without MPS.  ``geometry`` selects the partition geometry the profiles
+    were measured on (MIG by default); the algorithm itself is
+    geometry-agnostic — it only reads instance sizes out of the profiles.
     """
 
     def __init__(
         self,
         profiles: Mapping[str, ProfileTable],
         max_processes: int = 3,
+        geometry: PartitionGeometry = MIG_GEOMETRY,
     ) -> None:
         if max_processes < 1:
             raise ValueError("max_processes must be >= 1")
         self.profiles = profiles
         self.max_processes = max_processes
+        self.geometry = geometry
 
     # ------------------------------------------------------------------ #
     # stage 1: Optimal Triplet Decision
@@ -90,7 +96,7 @@ class SegmentConfigurator:
         tri = service.opt_tri_array
 
         opt_entry = self._opt_segment_entry(tri)
-        opt_seg = Segment.from_entry(service.id, opt_entry)
+        opt_seg = Segment.from_entry(service.id, opt_entry, self.geometry)
 
         # line 18: floor(rate / tp) full optimal segments ...  The small
         # relative nudge keeps exact multiples of the segment throughput
@@ -118,7 +124,7 @@ class SegmentConfigurator:
                 # triplet array — but profiles are caller-supplied.
                 last_entry = opt_entry
             last_entry = self._rate_matched_entry(service, last_entry, left)
-            last = Segment.from_entry(service.id, last_entry)
+            last = Segment.from_entry(service.id, last_entry, self.geometry)
 
         service.opt_seg = opt_seg
         service.num_opt_seg = num_opt

@@ -12,26 +12,39 @@ from __future__ import annotations
 
 from typing import Mapping, Optional, Sequence
 
-from repro.core.allocator import SegmentAllocator, _GPUState
+from repro.core.allocator import (
+    SegmentAllocator,
+    _GPUState,
+    states_from_placement,
+)
 from repro.core.configurator import SegmentConfigurator
 from repro.core.placement import Placement
-from repro.core.segments import Segment
 from repro.core.service import Service
 from repro.gpu.cluster import Cluster, ReconfigurationPlan
-from repro.gpu.mig import MigLayout, PlacedInstance
+from repro.gpu.geometry import PartitionGeometry
+from repro.gpu.mig import MIG_GEOMETRY
 from repro.profiler.table import ProfileTable
 
 
 class DeploymentManager:
-    """Keeps a physical (simulated) cluster in sync with placements."""
+    """Keeps a physical (simulated) cluster in sync with placements.
+
+    ``geometry`` is the geometry of the *profiles* handed in — the one the
+    SLO-update path re-plans with (MIG by default).  Per-GPU state during
+    incremental re-planning always follows each plan's own geometry.
+    """
 
     def __init__(
         self,
         profiles: Mapping[str, ProfileTable],
         cluster: Optional[Cluster] = None,
+        geometry: PartitionGeometry = MIG_GEOMETRY,
     ) -> None:
         self.profiles = profiles
-        self.cluster = cluster if cluster is not None else Cluster()
+        self.geometry = geometry
+        self.cluster = (
+            cluster if cluster is not None else Cluster(geometry=geometry)
+        )
         self.current: Optional[Placement] = None
 
     # ------------------------------------------------------------------ #
@@ -80,41 +93,22 @@ class DeploymentManager:
         changed.reset_plan()
 
         configurator = SegmentConfigurator(
-            self.profiles, max_processes=3 if use_mps else 1
+            self.profiles, max_processes=3 if use_mps else 1,
+            geometry=self.geometry,
         )
         configurator.configure([changed])
 
-        # Rebuild allocator state from the current map, minus the changed
-        # service's segments.
-        gpus: list[_GPUState] = []
-        for plan in self.current.gpus:
-            state = _GPUState(gpu_id=plan.gpu_id)
-            for seg in plan.segments:
-                if seg.service_id == changed.id:
-                    continue
-                state.layout.add(PlacedInstance(int(seg.gpcs), seg.start))
-                state.placed.append(
-                    (
-                        Segment(
-                            service_id=seg.service_id,
-                            model=seg.model,
-                            instance_size=int(seg.gpcs),
-                            batch_size=seg.batch_size,
-                            num_processes=seg.num_processes,
-                            throughput=seg.capacity,
-                            latency_ms=seg.latency_ms,
-                            sm_activity=seg.sm_activity,
-                        ),
-                        seg.start,
-                    )
-                )
-            gpus.append(state)
+        # Rebuild allocator state from the current map (each plan under its
+        # own geometry), minus the changed service's segments.
+        gpus: list[_GPUState] = states_from_placement(
+            self.current, exclude_service=changed.id
+        )
 
-        allocator = SegmentAllocator(optimize=optimize)
-        queues = allocator._new_queues()
+        allocator = SegmentAllocator(optimize=optimize, geometry=self.geometry)
+        queues = allocator._new_queues(self.geometry.instance_sizes)
         for seg in changed.segments():
             allocator._enqueue(queues, seg)
-        allocator._allocation(queues, gpus)
+        allocator._allocation(queues, gpus, self.geometry)
         if optimize:
             gpus = allocator.allocation_optimization(gpus, list(services))
         placement = allocator._to_placement(gpus)

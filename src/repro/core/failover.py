@@ -13,12 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.allocator import SegmentAllocator, _GPUState
+from repro.core.allocator import (
+    SegmentAllocator,
+    _GPUState,
+    states_from_placement,
+)
 from repro.core.deployment import DeploymentManager
 from repro.core.placement import Placement
 from repro.core.segments import Segment
 from repro.core.service import Service
-from repro.gpu.mig import PlacedInstance
+from repro.gpu.geometry import get_geometry
 from repro.gpu.reconfig import ReconfigurationCost, price_plan
 from repro.profiler.table import ProfileTable
 
@@ -60,6 +64,7 @@ class FailoverController:
         if victim is None or victim.is_empty:
             raise ValueError(f"GPU {gpu_id} hosts no segments")
 
+        victim_geometry = get_geometry(victim.geometry)
         lost: dict[str, float] = {}
         lost_segments: list[Segment] = []
         for seg in victim.segments:
@@ -74,39 +79,21 @@ class FailoverController:
                     throughput=seg.capacity,
                     latency_ms=seg.latency_ms,
                     sm_activity=seg.sm_activity,
+                    geometry=victim_geometry,
                 )
             )
 
-        # Rebuild allocator state from every *surviving* GPU.
-        gpus: list[_GPUState] = []
-        for plan in current.gpus:
-            if plan.gpu_id == gpu_id:
-                continue
-            state = _GPUState(gpu_id=plan.gpu_id)
-            for seg in plan.segments:
-                state.layout.add(PlacedInstance(int(seg.gpcs), seg.start))
-                state.placed.append(
-                    (
-                        Segment(
-                            service_id=seg.service_id,
-                            model=seg.model,
-                            instance_size=int(seg.gpcs),
-                            batch_size=seg.batch_size,
-                            num_processes=seg.num_processes,
-                            throughput=seg.capacity,
-                            latency_ms=seg.latency_ms,
-                            sm_activity=seg.sm_activity,
-                        ),
-                        seg.start,
-                    )
-                )
-            gpus.append(state)
+        # Rebuild allocator state from every *surviving* GPU, each under
+        # its own geometry.
+        gpus: list[_GPUState] = states_from_placement(current, skip_gpu=gpu_id)
 
-        allocator = SegmentAllocator(optimize=self.optimize)
-        queues = allocator._new_queues()
+        allocator = SegmentAllocator(
+            optimize=self.optimize, geometry=victim_geometry
+        )
+        queues = allocator._new_queues(victim_geometry.instance_sizes)
         for seg in lost_segments:
             allocator._enqueue(queues, seg)
-        allocator._allocation(queues, gpus)
+        allocator._allocation(queues, gpus, victim_geometry)
         if self.optimize:
             gpus = allocator.allocation_optimization(gpus, list(services))
 

@@ -7,17 +7,25 @@ delay attached.  The two ablation variants of the evaluation are flags:
 
 - ``use_mps=False``  -> ParvaGPU-single (process count capped at 1);
 - ``optimize=False`` -> ParvaGPU-unoptimized (no Allocation Optimization).
+
+``geometry`` retargets the whole pipeline at another partition geometry
+(e.g. :data:`repro.gpu.amd.MI300X_GEOMETRY`); the supplied profiles must
+then have been measured on that geometry
+(``profile_workloads(geometry=...)``).  For clusters mixing geometries use
+:class:`repro.core.hetero.HeterogeneousParvaGPU`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.core.allocator import OPTIMIZATION_GPC_THRESHOLD, SegmentAllocator
 from repro.core.configurator import SegmentConfigurator
 from repro.core.placement import Placement
 from repro.core.service import Service
+from repro.gpu.geometry import PartitionGeometry
+from repro.gpu.mig import MIG_GEOMETRY
 from repro.profiler.table import ProfileTable
 
 
@@ -30,22 +38,27 @@ class ParvaGPU:
         use_mps: bool = True,
         optimize: bool = True,
         threshold: int = OPTIMIZATION_GPC_THRESHOLD,
+        geometry: Optional[PartitionGeometry] = None,
     ) -> None:
         self.profiles = profiles
         self.use_mps = use_mps
         self.optimize = optimize
+        self.geometry = geometry or MIG_GEOMETRY
         self.configurator = SegmentConfigurator(
-            profiles, max_processes=3 if use_mps else 1
+            profiles, max_processes=3 if use_mps else 1, geometry=self.geometry
         )
-        self.allocator = SegmentAllocator(optimize=optimize, threshold=threshold)
+        self.allocator = SegmentAllocator(
+            optimize=optimize, threshold=threshold, geometry=self.geometry
+        )
 
     @property
     def name(self) -> str:
+        suffix = "" if self.geometry is MIG_GEOMETRY else f"@{self.geometry.name}"
         if not self.use_mps:
-            return "parvagpu-single"
+            return f"parvagpu-single{suffix}"
         if not self.optimize:
-            return "parvagpu-unoptimized"
-        return "parvagpu"
+            return f"parvagpu-unoptimized{suffix}"
+        return f"parvagpu{suffix}"
 
     def schedule(self, services: Sequence[Service]) -> Placement:
         """Run the full pipeline, timing it (Fig. 9's scheduling delay)."""

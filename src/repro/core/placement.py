@@ -2,13 +2,19 @@
 
 :class:`Placement` is the common result type of *all* schedulers in this
 repository (ParvaGPU and every baseline), so the metrics layer, simulator
-and experiment harnesses are framework-agnostic.  Two partition kinds
+and experiment harnesses are framework-agnostic.  Three partition kinds
 exist:
 
 - ``"mig"`` — a MIG-backed GPU segment with an integral size and start slot
   (ParvaGPU, MIG-serving);
 - ``"mps"`` — an MPS percentage slice of a whole GPU with a fractional GPC
-  share and no slot (gpulet, iGniter).
+  share and no slot (gpulet, iGniter);
+- ``"xcd"`` — an AMD XCD compute partition with an integral size and start
+  slot (the MI300X geometry).
+
+Every segment and GPU plan additionally carries the *name* of the
+partition geometry it was scheduled against (default ``"mig"``), which is
+how heterogeneous placements keep A100 and MI300X devices apart.
 """
 
 from __future__ import annotations
@@ -16,11 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Literal, Optional
 
-from repro.gpu.gpu import SMS_PER_GPC, SMS_PER_GPU
-from repro.gpu.mig import MigLayout, PlacedInstance
+from repro.gpu.geometry import PartitionLayout, get_geometry
 from repro.gpu.cluster import InstanceSpec
 
-PartitionKind = Literal["mig", "mps"]
+PartitionKind = Literal["mig", "mps", "xcd"]
 
 
 @dataclass(frozen=True)
@@ -30,29 +35,49 @@ class PlacedSegment:
     service_id: str
     model: str
     kind: PartitionKind
-    gpcs: float  #: integral for MIG; fractional share * 7 for MPS
+    gpcs: float  #: integral slice count for MIG/XCD; fractional share * 7 for MPS
     batch_size: int
     num_processes: int
     capacity: float  #: requests/s the partition sustains at this point
     latency_ms: float  #: expected per-batch latency (incl. interference)
     sm_activity: float  #: SM activity when fully loaded
-    start: Optional[int] = None  #: MIG start slot; None for MPS
+    start: Optional[int] = None  #: slice start slot; None for MPS
     served_rate: float = 0.0  #: requests/s actually routed here
+    geometry: str = "mig"  #: partition-geometry registry name
 
     def __post_init__(self) -> None:
-        if self.kind == "mig":
+        if self.kind in ("mig", "xcd"):
             if self.start is None:
-                raise ValueError("MIG partitions need a start slot")
+                raise ValueError(f"{self.kind} partitions need a start slot")
             if abs(self.gpcs - round(self.gpcs)) > 1e-9:
-                raise ValueError("MIG partitions have integral GPC sizes")
-        if self.gpcs <= 0 or self.gpcs > 7:
-            raise ValueError(f"partition size {self.gpcs} outside (0, 7]")
+                raise ValueError(
+                    f"{self.kind} partitions have integral slice sizes"
+                )
+        limit = get_geometry(self.geometry).num_slices
+        if self.gpcs <= 0 or self.gpcs > limit:
+            raise ValueError(f"partition size {self.gpcs} outside (0, {limit}]")
         if self.capacity <= 0:
             raise ValueError("partition capacity must be positive")
 
     @property
     def sm_count(self) -> float:
-        return self.gpcs * SMS_PER_GPC
+        """Compute units in the device's own accounting (SMs or CUs)."""
+        return get_geometry(self.geometry).sms_of(self.gpcs)
+
+    @property
+    def effective_gpcs(self) -> float:
+        """Compute share in A100-GPC equivalents (the perf-model's unit)."""
+        return get_geometry(self.geometry).gpc_equivalent(self.gpcs)
+
+    @property
+    def sm_equiv(self) -> float:
+        """A100-SM equivalents (14 x GPC-equivalents).
+
+        The cross-vendor weight for metrics: raw ``sm_count`` mixes SMs
+        and CUs on heterogeneous placements.  Identical to ``sm_count``
+        for MIG segments.
+        """
+        return 14.0 * self.effective_gpcs
 
     @property
     def load_fraction(self) -> float:
@@ -69,22 +94,28 @@ class GPUPlan:
 
     gpu_id: int
     segments: list[PlacedSegment] = field(default_factory=list)
+    geometry: str = "mig"  #: partition-geometry registry name of the device
 
     @property
     def used_gpcs(self) -> float:
         return sum(s.gpcs for s in self.segments)
 
     @property
+    def total_sms(self) -> float:
+        return float(get_geometry(self.geometry).total_sms)
+
+    @property
     def is_empty(self) -> bool:
         return not self.segments
 
     def validate(self) -> None:
-        """Check MIG legality / MPS quota on this GPU."""
-        layout = MigLayout()
+        """Check partition legality / MPS quota on this GPU."""
+        geo = get_geometry(self.geometry)
+        layout = PartitionLayout(geo)
         mps_share = 0.0
         for seg in self.segments:
-            if seg.kind == "mig":
-                layout.add(PlacedInstance(int(seg.gpcs), seg.start))  # raises
+            if seg.kind in ("mig", "xcd"):
+                layout.add(geo.place(int(seg.gpcs), seg.start))  # raises
             else:
                 mps_share += seg.gpcs / 7.0
         if mps_share > 1.0 + 1e-9:
@@ -116,7 +147,15 @@ class Placement:
         return self.gpus[gpu_id]
 
     def add(self, gpu_id: int, segment: PlacedSegment) -> None:
-        self.gpu(gpu_id).segments.append(segment)
+        plan = self.gpu(gpu_id)
+        if plan.is_empty:
+            plan.geometry = segment.geometry
+        elif segment.geometry != plan.geometry:
+            raise ValueError(
+                f"GPU {gpu_id} is {plan.geometry}; cannot add a "
+                f"{segment.geometry} segment"
+            )
+        plan.segments.append(segment)
 
     def drop_empty_gpus(self) -> None:
         """Renumber away trailing/interior empty GPUs."""
@@ -133,6 +172,10 @@ class Placement:
     def num_gpus(self) -> int:
         """GPUs hosting at least one partition (Fig. 5's metric)."""
         return sum(1 for g in self.gpus if not g.is_empty)
+
+    def geometries(self) -> tuple[str, ...]:
+        """Distinct geometry names used by non-empty plans, sorted."""
+        return tuple(sorted({g.geometry for g in self.gpus if not g.is_empty}))
 
     def iter_segments(self) -> Iterator[tuple[int, PlacedSegment]]:
         for g in self.gpus:
@@ -152,7 +195,7 @@ class Placement:
         return sum(s.sm_count for _, s in self.iter_segments())
 
     def total_sms(self) -> float:
-        return self.num_gpus * SMS_PER_GPU
+        return sum(g.total_sms for g in self.gpus if not g.is_empty)
 
     def validate(self) -> None:
         for g in self.gpus:
@@ -215,11 +258,13 @@ class Placement:
     # ------------------------------------------------------------------ #
 
     def to_instance_specs(self) -> list[InstanceSpec]:
-        """MIG deployments as cluster instance specs (SIII-F)."""
+        """Slotted deployments as cluster instance specs (SIII-F)."""
         specs: list[InstanceSpec] = []
         for gpu_id, seg in self.iter_segments():
-            if seg.kind != "mig":
-                raise ValueError("only MIG placements deploy to MIG clusters")
+            if seg.kind not in ("mig", "xcd"):
+                raise ValueError(
+                    "only slotted (MIG/XCD) placements deploy to clusters"
+                )
             specs.append(
                 InstanceSpec(
                     gpu_id=gpu_id,
@@ -228,6 +273,7 @@ class Placement:
                     owner=seg.service_id,
                     num_processes=seg.num_processes,
                     batch_size=seg.batch_size,
+                    geometry=seg.geometry,
                 )
             )
         return specs

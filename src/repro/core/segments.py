@@ -1,16 +1,18 @@
-"""GPU segments: MPS-enabled MIG instances running one workload.
+"""GPU segments: process-shared partition instances running one workload.
 
 A segment is the paper's unit of allocation — an (instance size, batch
 size, process count) triplet bound to a service, carrying the profiled
-throughput and latency of that operating point.
+throughput and latency of that operating point.  Segments are
+geometry-tagged: the default is the MIG geometry (sizes 1/2/3/4/7), an
+MI300X segment carries the XCD geometry (sizes 1/2/4/8).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.gpu.gpu import SMS_PER_GPC
-from repro.gpu.mig import INSTANCE_SIZES
+from repro.gpu.geometry import PartitionGeometry
+from repro.gpu.mig import MIG_GEOMETRY
 from repro.profiler.table import ProfileEntry
 
 
@@ -20,16 +22,19 @@ class Segment:
 
     service_id: str
     model: str
-    instance_size: int  #: GPCs: 1, 2, 3, 4 or 7
+    instance_size: int  #: slices: 1, 2, 3, 4 or 7 on MIG; 1, 2, 4, 8 on MI300X
     batch_size: int
     num_processes: int
     throughput: float  #: profiled aggregate requests/s
     latency_ms: float  #: profiled per-batch latency
     sm_activity: float  #: profiled SM activity at full load
+    geometry: PartitionGeometry = field(default=MIG_GEOMETRY, compare=False)
 
     def __post_init__(self) -> None:
-        if self.instance_size not in INSTANCE_SIZES:
-            raise ValueError(f"no MIG instance of size {self.instance_size}")
+        if self.instance_size not in self.geometry.instance_sizes:
+            raise ValueError(
+                f"no {self.geometry.name} instance of size {self.instance_size}"
+            )
         if self.batch_size < 1 or self.num_processes < 1:
             raise ValueError("batch size and process count must be >= 1")
         if self.throughput <= 0:
@@ -41,14 +46,19 @@ class Segment:
 
     @property
     def sm_count(self) -> int:
-        return self.instance_size * SMS_PER_GPC
+        return self.instance_size * self.geometry.sms_per_slice
 
     @property
     def throughput_per_gpc(self) -> float:
         return self.throughput / self.instance_size
 
     @classmethod
-    def from_entry(cls, service_id: str, entry: ProfileEntry) -> "Segment":
+    def from_entry(
+        cls,
+        service_id: str,
+        entry: ProfileEntry,
+        geometry: PartitionGeometry = MIG_GEOMETRY,
+    ) -> "Segment":
         """Build a segment from a profiled operating point."""
         return cls(
             service_id=service_id,
@@ -59,6 +69,7 @@ class Segment:
             throughput=entry.throughput,
             latency_ms=entry.latency_ms,
             sm_activity=entry.sm_activity,
+            geometry=geometry,
         )
 
     def describe(self) -> str:

@@ -1,24 +1,40 @@
-"""Simulated NVIDIA A100/H100 GPU substrate: MIG partitioning + MPS sharing.
+"""Simulated partitionable-GPU substrate: NVIDIA MIG + MPS, AMD MI300X XCDs.
 
 This package reproduces the *mechanical* behaviour of the hardware layer the
-paper runs on:
+paper runs on, generalized behind a pluggable partition-geometry contract:
 
-- :mod:`repro.gpu.slices`   -- GPC slice bitmask arithmetic.
-- :mod:`repro.gpu.mig`      -- MIG instance profiles, placement rules, and the
-  19 legal A100 configurations of the paper's Figure 1.
-- :mod:`repro.gpu.gpu`      -- a single GPU: 7 GPC slots, instance lifecycle.
+- :mod:`repro.gpu.slices`   -- compute-slice bitmask arithmetic (any width).
+- :mod:`repro.gpu.geometry` -- the :class:`PartitionGeometry` contract,
+  generic layouts, and the geometry registry.
+- :mod:`repro.gpu.mig`      -- NVIDIA MIG: instance profiles, placement rules,
+  and the 19 legal A100 configurations of the paper's Figure 1.
+- :mod:`repro.gpu.amd`      -- AMD MI300X: XCD compute-partition modes
+  (SPX/DPX/QPX/CPX) and NPS memory interleaving.
+- :mod:`repro.gpu.gpu`      -- a single GPU: slice slots, instance lifecycle.
 - :mod:`repro.gpu.mps`      -- the MPS control daemon attached to an instance.
 - :mod:`repro.gpu.memory`   -- per-instance framebuffer capacity and OOM checks.
 - :mod:`repro.gpu.telemetry`-- DCGM-style SM-activity accounting (Eq. 3 input).
-- :mod:`repro.gpu.cluster`  -- a multi-GPU cluster with reconfiguration diffs.
+- :mod:`repro.gpu.cluster`  -- a (possibly heterogeneous) multi-GPU cluster
+  with reconfiguration diffs.
 
-Only the *structure* of MIG/MPS is modelled here; the performance of code
-running on an instance lives in :mod:`repro.models.perf`.
+Only the *structure* of partitioning is modelled here; the performance of
+code running on an instance lives in :mod:`repro.models.perf`.
 """
 
+from repro.gpu.geometry import (
+    PartitionGeometry,
+    PartitionLayout,
+    PlacedPartition,
+    available_geometries,
+    default_geometry,
+    enumerate_layouts,
+    get_geometry,
+    register_geometry,
+)
 from repro.gpu.mig import (
     INSTANCE_SIZES,
     InstanceProfile,
+    MIG_GEOMETRY,
     MigLayout,
     PROFILES,
     PlacedInstance,
@@ -26,6 +42,7 @@ from repro.gpu.mig import (
     legal_starts,
     occupied_mask,
 )
+from repro.gpu.amd import MI300X_GEOMETRY, compute_mode_for, legal_memory_modes
 from repro.gpu.gpu import GPU, GPUError, NUM_SLICES
 from repro.gpu.mps import MPSContext, MPSError
 from repro.gpu.memory import MemoryError_, instance_memory_gb, fits_in_memory
@@ -33,14 +50,26 @@ from repro.gpu.telemetry import SMActivityTracker, ActivitySample
 from repro.gpu.cluster import Cluster, ReconfigurationPlan
 
 __all__ = [
+    "PartitionGeometry",
+    "PartitionLayout",
+    "PlacedPartition",
+    "available_geometries",
+    "default_geometry",
+    "enumerate_layouts",
+    "get_geometry",
+    "register_geometry",
     "INSTANCE_SIZES",
     "InstanceProfile",
+    "MIG_GEOMETRY",
     "MigLayout",
     "PROFILES",
     "PlacedInstance",
     "enumerate_configurations",
     "legal_starts",
     "occupied_mask",
+    "MI300X_GEOMETRY",
+    "compute_mode_for",
+    "legal_memory_modes",
     "GPU",
     "GPUError",
     "NUM_SLICES",

@@ -1,0 +1,152 @@
+"""AMD Instinct MI300X XCD partitioning as a :class:`PartitionGeometry`.
+
+An MI300X is built from 8 XCDs (Accelerator Complex Dies) stacked on 4
+IODs, with 192 GB of HBM3 in 8 stacks (2 per IOD).  Unlike MIG — which
+carves one die into per-instance slices with free size mixing — AMD's
+compute partitioning (Modular Chiplet Platform) is a *device-wide mode*
+set through ``amd-smi set --compute-partition``:
+
+====  ==============================  =========  ==================
+mode  meaning                         instances  XCDs per instance
+====  ==============================  =========  ==================
+SPX   Single Partition X-celerator    1          8 (whole device)
+DPX   Dual Partition X-celerator      2          4
+QPX   Quad Partition X-celerator      4          2
+CPX   Core Partitioned X-celerator    8          1
+====  ==============================  =========  ==================
+
+Memory partitioning (NPS, NUMA-per-socket) is orthogonal but constrained:
+the number of memory partitions may not exceed the number of compute
+partitions, so NPS4 (one 48 GB HBM quadrant per IOD) requires CPX, while
+NPS1 interleaves the full 192 GB for every mode.  The framebuffer behind an
+instance is therefore its proportional share of HBM: 192/96/48/24 GB for
+SPX/DPX/QPX/CPX instances respectively (a CPX instance shares its NPS4
+quadrant with the quadrant's other XCD).
+
+Two structural consequences for the scheduler:
+
+- **uniform sizes** — all instances on one MI300X have the same size, so a
+  layout like MIG's ``4+2+1`` is illegal; reconfiguring between modes
+  drains the whole device (modeled by
+  ``PartitionGeometry.uniform_instance_sizes``);
+- **no blocked slices** — partition sizes tile the 8 XCDs exactly, so the
+  MI300X has no analogue of MIG's 3g-at-slot-0 blocking rule and no
+  external fragmentation *within* a device.
+
+Compute calibration: one XCD (38 CUs of CDNA3) is modeled as
+:data:`GPC_EQUIV_PER_XCD` A100-GPC equivalents, making a whole MI300X
+worth ~1.6 A100s for the dense inference workloads of Table IV — a
+deliberately conservative serving-throughput ratio rather than a peak
+TFLOPS ratio.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.geometry import (
+    PartitionGeometry,
+    PartitionLayout,
+    enumerate_layouts,
+    register_geometry,
+)
+
+#: XCDs (Accelerator Complex Dies) on one MI300X.
+NUM_XCDS = 8
+
+#: CDNA3 compute units per XCD (304 CUs / 8 XCDs).
+CUS_PER_XCD = 38
+
+#: Total HBM3 capacity of one MI300X (GB).
+MI300X_MEMORY_GB = 192.0
+
+#: Serving-throughput compute of one XCD in A100-GPC equivalents.
+GPC_EQUIV_PER_XCD = 1.4
+
+#: Compute-partition modes: mode name -> XCDs per instance.
+COMPUTE_MODES: dict[str, int] = {"SPX": 8, "DPX": 4, "QPX": 2, "CPX": 1}
+
+#: Instance size -> compute-partition mode name.
+MODE_FOR_SIZE: dict[int, str] = {v: k for k, v in COMPUTE_MODES.items()}
+
+#: Memory (NPS) modes and the compute modes they are legal with.  The
+#: partitioning guide's rule: #memory partitions <= #compute partitions.
+MEMORY_MODES: dict[str, tuple[str, ...]] = {
+    "NPS1": ("SPX", "DPX", "QPX", "CPX"),
+    "NPS4": ("CPX",),
+}
+
+#: Framebuffer share of each instance size (proportional HBM split).
+_MEMORY_MAP: dict[int, float] = {
+    8: MI300X_MEMORY_GB,  # SPX: whole board
+    4: MI300X_MEMORY_GB / 2,  # DPX: 96 GB
+    2: MI300X_MEMORY_GB / 4,  # QPX: 48 GB (one NPS4 quadrant)
+    1: MI300X_MEMORY_GB / 8,  # CPX: 24 GB (half a quadrant)
+}
+
+#: ``amd-smi``-style partition labels, size -> name.
+_PROFILE_NAMES: dict[int, str] = {
+    8: "spx.192gb",
+    4: "dpx.96gb",
+    2: "qpx.48gb",
+    1: "cpx.24gb",
+}
+
+#: Partition sizes tile the device, so starts are simply every multiple of
+#: the size.  AMD has no "extended" rule set; both tables coincide.
+_STARTS: dict[int, tuple[int, ...]] = {
+    size: tuple(range(0, NUM_XCDS, size)) for size in (1, 2, 4, 8)
+}
+
+MI300X_GEOMETRY: PartitionGeometry = register_geometry(
+    PartitionGeometry(
+        name="mi300x",
+        vendor="amd",
+        kind="xcd",
+        slice_label="XCD",
+        num_slices=NUM_XCDS,
+        instance_sizes=(1, 2, 4, 8),
+        memory_map=_MEMORY_MAP,
+        profile_names=_PROFILE_NAMES,
+        canonical_starts=_STARTS,
+        extended_starts=_STARTS,
+        blocked_extra={},
+        # Uniform tiling means there are no "bad" slots to avoid: prefer
+        # low XCD indices so partially-filled devices stay contiguous.
+        slot_preferences={size: starts for size, starts in _STARTS.items()},
+        slot_fallbacks={size: () for size in _STARTS},
+        sms_per_slice=CUS_PER_XCD,
+        gpc_equiv_per_slice=GPC_EQUIV_PER_XCD,
+        uniform_instance_sizes=True,
+        small_sizes=(1, 2),
+        compact_max_size=4,
+    ),
+    aliases=("amd", "instinct", "mi300"),
+)
+
+
+def compute_mode_for(size: int) -> str:
+    """The ``amd-smi`` compute-partition mode an instance size implies."""
+    try:
+        return MODE_FOR_SIZE[size]
+    except KeyError:
+        raise ValueError(
+            f"mi300x: no partition profile of size {size}; "
+            f"sizes are {MI300X_GEOMETRY.instance_sizes}"
+        ) from None
+
+
+def legal_memory_modes(size: int) -> tuple[str, ...]:
+    """NPS modes legal for a device partitioned at ``size`` XCDs."""
+    mode = compute_mode_for(size)
+    return tuple(
+        nps for nps, compat in MEMORY_MODES.items() if mode in compat
+    )
+
+
+def enumerate_modes() -> list[PartitionLayout]:
+    """Every maximal MI300X layout — exactly the four device-wide modes.
+
+    The AMD analogue of MIG's 19-configuration Figure 1: the uniform-size
+    rule collapses the combinatorics to SPX, DPX (4+4), QPX (2+2+2+2) and
+    CPX (eight CPX instances).
+    """
+    return enumerate_layouts(MI300X_GEOMETRY, extended=False)

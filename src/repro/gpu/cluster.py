@@ -2,7 +2,10 @@
 
 A :class:`Cluster` is an elastic pool of :class:`~repro.gpu.gpu.GPU` objects
 (the evaluation uses multiples of 8-GPU ``p4de.24xlarge`` instances, but the
-scheduling algorithms are agnostic to node boundaries).  It also implements
+scheduling algorithms are agnostic to node boundaries).  Pools may be
+heterogeneous: each GPU carries its own
+:class:`~repro.gpu.geometry.PartitionGeometry`, so one cluster can mix
+MIG-partitioned A100s with XCD-partitioned MI300Xs.  It also implements
 the SIII-F deployment path: given a new target allocation map, compute the
 minimal set of instance creations/destructions so that services whose
 placement is unchanged are not disturbed.
@@ -13,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.gpu.geometry import PartitionGeometry
 from repro.gpu.gpu import GPU, GPUError, Instance
+from repro.gpu.mig import MIG_GEOMETRY
 
 
 @dataclass(frozen=True)
@@ -26,6 +31,7 @@ class InstanceSpec:
     owner: str
     num_processes: int = 1
     batch_size: int = 1
+    geometry: str = "mig"  #: partition-geometry registry name of the device
 
 
 @dataclass
@@ -46,10 +52,15 @@ class ReconfigurationPlan:
 
 
 class Cluster:
-    """An elastic pool of MIG-capable GPUs."""
+    """An elastic pool of partitionable GPUs (MIG-capable by default)."""
 
-    def __init__(self, num_gpus: int = 0) -> None:
-        self._gpus: list[GPU] = [GPU(i) for i in range(num_gpus)]
+    def __init__(
+        self, num_gpus: int = 0, geometry: PartitionGeometry = MIG_GEOMETRY
+    ) -> None:
+        self.default_geometry = geometry
+        self._gpus: list[GPU] = [
+            GPU(i, geometry=geometry) for i in range(num_gpus)
+        ]
 
     # ------------------------------------------------------------------ #
     # pool management
@@ -68,15 +79,23 @@ class Cluster:
         except IndexError:
             raise GPUError(f"no GPU with id {gpu_id}") from None
 
-    def add_gpu(self) -> GPU:
-        """Grow the pool by one GPU (cloud elasticity)."""
-        g = GPU(len(self._gpus))
+    def add_gpu(self, geometry: Optional[PartitionGeometry] = None) -> GPU:
+        """Grow the pool by one GPU (cloud elasticity).
+
+        ``geometry`` defaults to the cluster's default; passing another
+        geometry builds a heterogeneous pool.
+        """
+        g = GPU(len(self._gpus), geometry=geometry or self.default_geometry)
         self._gpus.append(g)
         return g
 
     def ensure_capacity(self, num_gpus: int) -> None:
         while len(self._gpus) < num_gpus:
             self.add_gpu()
+
+    def geometries(self) -> tuple[str, ...]:
+        """Distinct geometry names present in the pool, sorted."""
+        return tuple(sorted({g.geometry.name for g in self._gpus}))
 
     def used_gpu_count(self) -> int:
         """GPUs hosting at least one instance — the paper's Fig. 5 metric."""
@@ -95,13 +114,26 @@ class Cluster:
     # ------------------------------------------------------------------ #
 
     def apply_specs(self, specs: Iterable[InstanceSpec]) -> list[Instance]:
-        """Instantiate a full allocation map onto an empty cluster."""
+        """Instantiate a full allocation map onto an empty cluster.
+
+        GPUs created to host a spec take the spec's geometry, so a
+        heterogeneous placement materializes a heterogeneous pool; a spec
+        targeting an existing GPU of another geometry is an error.
+        """
+        from repro.gpu.geometry import get_geometry
+
         created: list[Instance] = []
         for spec in specs:
-            self.ensure_capacity(spec.gpu_id + 1)
-            inst = self.gpu(spec.gpu_id).create_instance(
-                spec.size, spec.start, owner=spec.owner
-            )
+            self.ensure_capacity(spec.gpu_id)  # default-geometry gap fill
+            if len(self._gpus) == spec.gpu_id:
+                self.add_gpu(geometry=get_geometry(spec.geometry))
+            g = self.gpu(spec.gpu_id)
+            if g.geometry.name != get_geometry(spec.geometry).name:
+                raise GPUError(
+                    f"GPU {spec.gpu_id} is {g.geometry.name}; spec wants "
+                    f"{spec.geometry}"
+                )
+            inst = g.create_instance(spec.size, spec.start, owner=spec.owner)
             for _ in range(spec.num_processes):
                 inst.mps.launch(spec.owner)
             created.append(inst)

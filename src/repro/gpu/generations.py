@@ -1,19 +1,26 @@
-"""MIG-capable GPU generations (the paper's Discussion section).
+"""MIG-capable NVIDIA GPU generations (the paper's Discussion section).
 
 "All NVIDIA GPUs adopting MIG across the Ampere, Hopper, and latest
-Blackwell architectures maintain identical MIG configurations" — the 19
-layouts and slot rules of :mod:`repro.gpu.mig` are generation-invariant;
-what changes is the framebuffer behind each instance size.  This module
-captures those memory maps so the feasibility of spatial sharing (notably
-the Discussion's LLM argument: a 7 GB LLaMA fits a 1g slice of an H200 but
-not of an A100-40GB) can be studied quantitatively.
+Blackwell architectures maintain identical MIG configurations" — *within
+the NVIDIA line*, the 19 layouts and slot rules of :mod:`repro.gpu.mig`
+are generation-invariant; what changes is the framebuffer behind each
+instance size.  (The invariance does **not** extend across vendors: AMD's
+MI300X partitions by device-wide XCD modes instead — see
+:mod:`repro.gpu.amd` — which is exactly why the scheduling layers consume
+a :class:`~repro.gpu.geometry.PartitionGeometry` rather than the MIG
+tables directly.)  This module captures the NVIDIA memory maps so the
+feasibility of spatial sharing (notably the Discussion's LLM argument: a
+7 GB LLaMA fits a 1g slice of an H200 but not of an A100-40GB) can be
+studied quantitatively, and derives a per-generation geometry via
+:func:`geometry_for_generation`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro.gpu.mig import INSTANCE_SIZES
+from repro.gpu.geometry import PartitionGeometry, register_geometry
+from repro.gpu.mig import INSTANCE_SIZES, MIG_GEOMETRY
 
 
 @dataclass(frozen=True)
@@ -81,3 +88,35 @@ def get_generation(name: str) -> GPUGeneration:
     except KeyError:
         known = ", ".join(sorted(GENERATIONS))
         raise KeyError(f"unknown GPU generation {name!r}; known: {known}") from None
+
+
+#: Derived per-generation geometries, built (and registered) on demand.
+_GENERATION_GEOMETRIES: dict[str, PartitionGeometry] = {}
+
+
+def geometry_for_generation(name: str) -> PartitionGeometry:
+    """A MIG-rules :class:`PartitionGeometry` with ``name``'s memory map.
+
+    Placement rules, slot preferences and slice count are identical across
+    NVIDIA generations; only the framebuffer per instance size moves.  The
+    derived geometry is registered in the geometry registry (as e.g.
+    ``"mig-h200-141gb"``) so geometry-tagged placements can resolve it.
+    """
+    gen = get_generation(name)
+    if gen.name == DEFAULT_GENERATION:
+        return MIG_GEOMETRY
+    if gen.name not in _GENERATION_GEOMETRIES:
+        # Registered under "mig-<generation>" only — no aliases, so the
+        # pre-existing generation-name aliases keep resolving to the
+        # default MIG geometry regardless of call order.
+        _GENERATION_GEOMETRIES[gen.name] = register_geometry(
+            replace(
+                MIG_GEOMETRY,
+                name=f"mig-{gen.name}",
+                memory_map=dict(gen.memory_map),
+                profile_names={
+                    s: f"{s}g.{gen.memory_map[s]:.0f}gb" for s in INSTANCE_SIZES
+                },
+            )
+        )
+    return _GENERATION_GEOMETRIES[gen.name]

@@ -1,10 +1,12 @@
-"""A single MIG-capable GPU: seven GPC slots plus instance lifecycle.
+"""A single partitionable GPU: slice slots plus instance lifecycle.
 
-A :class:`GPU` owns a :class:`~repro.gpu.mig.MigLayout` and associates every
-placed instance with an owner tag (a service id in the scheduler layers) and
-an :class:`~repro.gpu.mps.MPSContext`.  The class is purely mechanical: it
-enforces MIG legality but applies *no placement policy* — slot-preference
-logic lives in the Segment Allocator where the paper specifies it.
+A :class:`GPU` owns a :class:`~repro.gpu.geometry.PartitionLayout` for its
+:class:`~repro.gpu.geometry.PartitionGeometry` (NVIDIA MIG by default) and
+associates every placed instance with an owner tag (a service id in the
+scheduler layers) and an :class:`~repro.gpu.mps.MPSContext`.  The class is
+purely mechanical: it enforces partition legality but applies *no
+placement policy* — slot-preference logic lives in the Segment Allocator
+where the paper specifies it.
 """
 
 from __future__ import annotations
@@ -12,28 +14,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
-from repro.gpu.mig import (
-    INSTANCE_SIZES,
-    MigLayout,
-    PlacedInstance,
-    legal_starts,
-    occupied_mask,
+from repro.gpu.geometry import (
+    PartitionGeometry,
+    PartitionLayout,
+    PlacedPartition,
 )
+from repro.gpu.mig import MIG_GEOMETRY, SMS_PER_GPC
 from repro.gpu.mps import MPSContext
 from repro.gpu.slices import (
-    FULL_MASK,
     NUM_SLICES,
+    full_mask,
     largest_free_run,
     popcount,
     slice_indices,
 )
 
-#: SMs per GPC on GA100 (108 SMs / 7 GPCs is not integral on the real die;
-#: the A100 exposes 98 usable SMs under MIG = 14 per GPC slice, which is the
-#: number DCGM-style accounting needs).
-SMS_PER_GPC = 14
-
-#: Usable SMs on a fully-MIG-partitioned A100.
+#: Usable SMs on a fully-MIG-partitioned A100 (98 = 14 SMs x 7 GPCs).
 SMS_PER_GPU = SMS_PER_GPC * NUM_SLICES
 
 
@@ -43,9 +39,9 @@ class GPUError(RuntimeError):
 
 @dataclass
 class Instance:
-    """A live MIG instance on a specific GPU."""
+    """A live partition instance on a specific GPU."""
 
-    placed: PlacedInstance
+    placed: PlacedPartition
     owner: Optional[str] = None  #: service id occupying the instance
     mps: MPSContext = None  # type: ignore[assignment]
 
@@ -63,15 +59,18 @@ class Instance:
 
     @property
     def sm_count(self) -> int:
-        return self.placed.size * SMS_PER_GPC
+        return self.placed.size * self.placed.geometry.sms_per_slice
 
 
 class GPU:
-    """One MIG-enabled A100-class GPU."""
+    """One partitionable GPU (MIG-enabled A100-class by default)."""
 
-    def __init__(self, gpu_id: int) -> None:
+    def __init__(
+        self, gpu_id: int, geometry: PartitionGeometry = MIG_GEOMETRY
+    ) -> None:
         self.gpu_id = gpu_id
-        self._layout = MigLayout()
+        self.geometry = geometry
+        self._layout = PartitionLayout(geometry)
         self._instances: list[Instance] = []
 
     # ------------------------------------------------------------------ #
@@ -83,7 +82,7 @@ class GPU:
         return tuple(self._instances)
 
     @property
-    def layout(self) -> MigLayout:
+    def layout(self) -> PartitionLayout:
         return self._layout
 
     @property
@@ -92,36 +91,45 @@ class GPU:
 
     @property
     def used_gpcs(self) -> int:
-        """GPCs of compute allocated to instances (excludes blocked slices)."""
+        """Slices of compute allocated to instances (excludes blocked)."""
         return self._layout.used_gpcs
 
     @property
     def free_gpcs(self) -> int:
         """Slices neither occupied nor blocked."""
-        return NUM_SLICES - popcount(self._layout.mask)
+        return self.geometry.num_slices - popcount(
+            self._layout.mask, num_slices=self.geometry.num_slices
+        )
 
     @property
     def is_empty(self) -> bool:
         return not self._instances
 
     def free_slice_indices(self) -> tuple[int, ...]:
-        return slice_indices(FULL_MASK & ~self._layout.mask)
+        n = self.geometry.num_slices
+        return slice_indices(full_mask(n) & ~self._layout.mask, num_slices=n)
 
     def largest_free_run(self) -> int:
-        return largest_free_run(self._layout.mask)
+        return largest_free_run(
+            self._layout.mask, num_slices=self.geometry.num_slices
+        )
 
     def can_place(self, size: int, start: Optional[int] = None) -> bool:
         """Whether an instance of ``size`` fits (at ``start`` or anywhere)."""
-        starts = (start,) if start is not None else legal_starts(size)
+        if size not in self.geometry.instance_sizes:
+            return False
+        legal = self.geometry.legal_starts(size)
+        starts = (start,) if start is not None else legal
         return any(
-            s in legal_starts(size) and self._layout.can_add(size, s)
-            for s in starts
+            s in legal and self._layout.can_add(size, s) for s in starts
         )
 
     def feasible_starts(self, size: int) -> tuple[int, ...]:
         """All start slots currently legal for an instance of ``size``."""
         return tuple(
-            s for s in legal_starts(size) if self._layout.can_add(size, s)
+            s
+            for s in self.geometry.legal_starts(size)
+            if self._layout.can_add(size, s)
         )
 
     # ------------------------------------------------------------------ #
@@ -131,17 +139,18 @@ class GPU:
     def create_instance(
         self, size: int, start: int, owner: Optional[str] = None
     ) -> Instance:
-        """Create a MIG instance; raises :class:`GPUError` when illegal."""
-        if size not in INSTANCE_SIZES:
-            raise GPUError(f"no MIG profile of size {size}")
-        if start not in legal_starts(size):
+        """Create a partition instance; raises :class:`GPUError` when illegal."""
+        if size not in self.geometry.instance_sizes:
+            raise GPUError(f"no {self.geometry.name} profile of size {size}")
+        if start not in self.geometry.legal_starts(size):
             raise GPUError(f"size-{size} instance may not start at slot {start}")
         if not self._layout.can_add(size, start):
             raise GPUError(
                 f"GPU {self.gpu_id}: slices "
-                f"{slice_indices(occupied_mask(size, start))} not free"
+                f"{slice_indices(self.geometry.occupied_mask(size, start), num_slices=self.geometry.num_slices)}"
+                f" not free"
             )
-        placed = PlacedInstance(size, start)
+        placed = self.geometry.place(size, start)
         self._layout.add(placed)
         inst = Instance(placed=placed, owner=owner)
         self._instances.append(inst)
@@ -181,5 +190,5 @@ class GPU:
 
 
 def total_sms(gpus: Iterable[GPU]) -> int:
-    """Aggregate usable SM count of a set of GPUs."""
-    return sum(SMS_PER_GPU for _ in gpus)
+    """Aggregate usable SM/CU count of a set of GPUs."""
+    return sum(g.geometry.total_sms for g in gpus)

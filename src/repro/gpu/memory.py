@@ -1,13 +1,19 @@
 """Framebuffer capacity model and out-of-memory checks.
 
-MIG statically partitions the A100's HBM alongside its GPCs; each instance
-size owns a fixed framebuffer (SII-B of the paper).  The profiler uses
-:func:`fits_in_memory` to drop (batch, procs) points that would OOM on real
-hardware — those points are absent from Figure 3/4 for the same reason.
+Partitioning statically splits a device's HBM alongside its compute
+slices; each instance size owns a fixed framebuffer (SII-B of the paper
+for MIG; the proportional NPS split for MI300X).  The profiler uses
+:func:`fits_in_memory` to drop (batch, procs) points that would OOM on
+real hardware — those points are absent from Figure 3/4 for the same
+reason.  Every helper defaults to the A100-80GB MIG map and accepts any
+:class:`~repro.gpu.geometry.PartitionGeometry` for other backends.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.gpu.geometry import PartitionGeometry
 from repro.gpu.mig import MEMORY_GB, INSTANCE_SIZES
 
 
@@ -18,8 +24,12 @@ class MemoryError_(RuntimeError):
     """
 
 
-def instance_memory_gb(size: int) -> int:
-    """Framebuffer capacity (GB) of an instance of ``size`` GPCs."""
+def instance_memory_gb(
+    size: int, geometry: Optional[PartitionGeometry] = None
+) -> float:
+    """Framebuffer capacity (GB) of an instance of ``size`` slices."""
+    if geometry is not None:
+        return geometry.instance_memory_gb(size)
     try:
         return MEMORY_GB[size]
     except KeyError:
@@ -28,17 +38,22 @@ def instance_memory_gb(size: int) -> int:
         ) from None
 
 
-def fits_in_memory(required_gb: float, size: int) -> bool:
+def fits_in_memory(
+    required_gb: float, size: int, geometry: Optional[PartitionGeometry] = None
+) -> bool:
     """Whether ``required_gb`` of workload state fits an instance of ``size``."""
     if required_gb < 0:
         raise ValueError("memory requirement must be non-negative")
-    return required_gb <= instance_memory_gb(size)
+    return required_gb <= instance_memory_gb(size, geometry)
 
 
-def check_fits(required_gb: float, size: int) -> None:
+def check_fits(
+    required_gb: float, size: int, geometry: Optional[PartitionGeometry] = None
+) -> None:
     """Raise :class:`MemoryError_` when the workload would OOM."""
-    if not fits_in_memory(required_gb, size):
+    if not fits_in_memory(required_gb, size, geometry):
         raise MemoryError_(
             f"workload needs {required_gb:.1f} GB but a "
-            f"{instance_memory_gb(size)} GB (size-{size}) instance was given"
+            f"{instance_memory_gb(size, geometry)} GB (size-{size}) "
+            f"instance was given"
         )

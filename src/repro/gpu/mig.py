@@ -20,6 +20,12 @@ when MIG is enabled.  The combinatorial structure behind that table is:
   1     0-6                 any slice
   ====  ==================  =============================================
 
+Since the pluggable-geometry refactor these rules are packaged as
+:data:`MIG_GEOMETRY` — the NVIDIA instantiation of
+:class:`repro.gpu.geometry.PartitionGeometry` — and everything below
+(``legal_starts``, ``occupied_mask``, :class:`MigLayout`) delegates to it.
+The AMD counterpart lives in :mod:`repro.gpu.amd`.
+
 ``enumerate_configurations()`` regenerates Figure 1 exactly: the 18 maximal
 layouts composed from the lower region (slices 0-3) and the upper region
 (slices 4-6), plus the full-GPU size-7 layout, i.e. 19 configurations.
@@ -27,10 +33,17 @@ layouts composed from the lower region (slices 0-3) and the upper region
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.gpu.slices import NUM_SLICES, popcount, range_mask, slice_indices
+from repro.gpu.geometry import (
+    PartitionGeometry,
+    PartitionLayout,
+    PlacedPartition,
+    enumerate_layouts,
+    register_geometry,
+)
+from repro.gpu.slices import NUM_SLICES, mask_of
 
 #: Instance sizes that exist on A100/H100-class hardware, ascending.
 INSTANCE_SIZES: tuple[int, ...] = (1, 2, 3, 4, 7)
@@ -67,6 +80,38 @@ _EXTENDED_STARTS: dict[int, tuple[int, ...]] = {
     1: (0, 1, 2, 3, 4, 5, 6),
 }
 
+#: SMs per GPC on GA100 (the A100 exposes 98 usable SMs under MIG = 14 per
+#: GPC slice, which is the number DCGM-style accounting needs).
+SMS_PER_GPC = 14
+
+#: The NVIDIA MIG geometry: seven GPC slices, five instance sizes, free
+#: mixing of sizes on one GPU.  Slot preferences implement SIII-E1: sizes
+#: 7/4 only fit slot 0; size 3 prefers slot 4 (slot 0 would block slice 3);
+#: size 2 prefers the lower half; size 1 fills slots 0-3 before 4-6.
+MIG_GEOMETRY: PartitionGeometry = register_geometry(
+    PartitionGeometry(
+        name="mig",
+        vendor="nvidia",
+        kind="mig",
+        slice_label="GPC",
+        num_slices=NUM_SLICES,
+        instance_sizes=INSTANCE_SIZES,
+        memory_map=dict(MEMORY_GB),
+        profile_names=dict(PROFILE_NAMES),
+        canonical_starts=_CANONICAL_STARTS,
+        extended_starts=_EXTENDED_STARTS,
+        blocked_extra={(3, 0): mask_of([3])},
+        slot_preferences={7: (0,), 4: (0,), 3: (4,), 2: (0, 2), 1: (0, 1, 2, 3)},
+        slot_fallbacks={7: (), 4: (), 3: (), 2: (4, 5), 1: (4, 5, 6)},
+        sms_per_slice=SMS_PER_GPC,
+        gpc_equiv_per_slice=1.0,
+        uniform_instance_sizes=False,
+        small_sizes=(1, 2),
+        compact_max_size=3,
+    ),
+    aliases=("nvidia", "a100", "a100-80gb", "h100", "h100-80gb"),
+)
+
 
 @dataclass(frozen=True)
 class InstanceProfile:
@@ -95,10 +140,9 @@ def legal_starts(size: int, extended: bool = True) -> tuple[int, ...]:
     additionally allow a size-2 instance at slot 5.  ``extended=False`` gives
     the canonical rule set used to enumerate Figure 1.
     """
-    table = _EXTENDED_STARTS if extended else _CANONICAL_STARTS
     try:
-        return table[size]
-    except KeyError:
+        return MIG_GEOMETRY.legal_starts(size, extended=extended)
+    except ValueError:
         raise ValueError(f"no MIG profile of size {size}") from None
 
 
@@ -110,17 +154,16 @@ def occupied_mask(size: int, start: int) -> int:
     its mask covers slices 0-3.  Everything else occupies exactly
     ``[start, start+size)``.
     """
-    if size == 3 and start == 0:
-        return range_mask(0, 4)
-    return range_mask(start, size)
+    return MIG_GEOMETRY.occupied_mask(size, start)
 
 
-@dataclass(frozen=True)
-class PlacedInstance:
-    """An instance size pinned to a start slot."""
+@dataclass(frozen=True, eq=False)
+class PlacedInstance(PlacedPartition):
+    """A MIG instance size pinned to a start slot (NVIDIA geometry)."""
 
-    size: int
-    start: int
+    geometry: PartitionGeometry = field(
+        default=MIG_GEOMETRY, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.size not in INSTANCE_SIZES:
@@ -131,90 +174,23 @@ class PlacedInstance:
             )
 
     @property
-    def mask(self) -> int:
-        """Occupied+blocked slice bitmask."""
-        return occupied_mask(self.size, self.start)
-
-    @property
     def profile(self) -> InstanceProfile:
         return PROFILES[self.size]
 
-    @property
-    def slices(self) -> tuple[int, ...]:
-        return slice_indices(self.mask)
 
-
-class MigLayout:
-    """A set of non-overlapping placed instances on one GPU.
+class MigLayout(PartitionLayout):
+    """A set of non-overlapping placed instances on one MIG-capable GPU.
 
     The layout is the *shape* of a MIG partitioning; it knows nothing about
     which service runs where (that is :class:`repro.gpu.gpu.GPU`'s job).
+    All legality logic lives in :class:`~repro.gpu.geometry.PartitionLayout`
+    parameterized by :data:`MIG_GEOMETRY`.
     """
 
-    __slots__ = ("_instances", "_mask")
+    __slots__ = ()
 
     def __init__(self, instances: Iterable[PlacedInstance] = ()) -> None:
-        self._instances: list[PlacedInstance] = []
-        self._mask = 0
-        for inst in instances:
-            self.add(inst)
-
-    @property
-    def instances(self) -> tuple[PlacedInstance, ...]:
-        return tuple(self._instances)
-
-    @property
-    def mask(self) -> int:
-        """Union of occupied+blocked slices."""
-        return self._mask
-
-    @property
-    def used_gpcs(self) -> int:
-        """Total GPCs of *compute* allocated (blocked slices don't count)."""
-        return sum(i.size for i in self._instances)
-
-    def can_add(self, size: int, start: int, extended: bool = True) -> bool:
-        """Whether an instance of ``size`` can be created at ``start``."""
-        if size not in INSTANCE_SIZES:
-            return False
-        if start not in legal_starts(size, extended=extended):
-            return False
-        return not self._mask & occupied_mask(size, start)
-
-    def add(self, inst: PlacedInstance) -> None:
-        if self._mask & inst.mask:
-            raise ValueError(f"{inst} overlaps existing instances")
-        self._instances.append(inst)
-        self._mask |= inst.mask
-
-    def remove(self, inst: PlacedInstance) -> None:
-        self._instances.remove(inst)
-        self._mask = 0
-        for other in self._instances:
-            self._mask |= other.mask
-
-    def sizes(self) -> tuple[int, ...]:
-        """Instance sizes in this layout, descending (Figure-1 row style)."""
-        return tuple(sorted((i.size for i in self._instances), reverse=True))
-
-    def signature(self) -> tuple[tuple[int, int], ...]:
-        """Canonical ``(start, size)`` tuple — hashable layout identity."""
-        return tuple(sorted((i.start, i.size) for i in self._instances))
-
-    def is_maximal(self, extended: bool = False) -> bool:
-        """True when no further instance of any size can be added."""
-        for size in INSTANCE_SIZES:
-            for start in legal_starts(size, extended=extended):
-                if self.can_add(size, start, extended=extended):
-                    return False
-        return True
-
-    def __len__(self) -> int:
-        return len(self._instances)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = "+".join(str(s) for s in self.sizes()) or "empty"
-        return f"MigLayout({parts})"
+        super().__init__(MIG_GEOMETRY, tuple(instances))
 
 
 def enumerate_configurations() -> list[MigLayout]:
@@ -225,25 +201,10 @@ def enumerate_configurations() -> list[MigLayout]:
     result is sorted largest-instance-first to match the paper's ordering
     (config 1 = one size-7 instance ... config 19 = seven size-1 instances).
     """
-    seen: set[tuple[tuple[int, int], ...]] = set()
-    results: list[MigLayout] = []
-
-    def dfs(layout: MigLayout) -> None:
-        extended = False
-        if layout.is_maximal(extended=extended):
-            sig = layout.signature()
-            if sig not in seen:
-                seen.add(sig)
-                results.append(MigLayout(layout.instances))
-            return
-        for size in sorted(INSTANCE_SIZES, reverse=True):
-            for start in legal_starts(size, extended=extended):
-                if layout.can_add(size, start, extended=extended):
-                    inst = PlacedInstance(size, start)
-                    layout.add(inst)
-                    dfs(layout)
-                    layout.remove(inst)
-
-    dfs(MigLayout())
-    results.sort(key=lambda l: tuple(-s for s in l.sizes()))
-    return results
+    return [
+        MigLayout(
+            PlacedInstance(size=i.size, start=i.start)
+            for i in layout.instances
+        )
+        for layout in enumerate_layouts(MIG_GEOMETRY, extended=False)
+    ]

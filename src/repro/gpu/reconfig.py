@@ -76,10 +76,22 @@ def price_plan(
         downtime.setdefault(spec.owner, 0.0)
 
     # A zero-downtime swap shadows every disrupted service's *new* segments
-    # on spare GPUs; the spare count is the GPC-weight of created instances
-    # rounded up to whole GPUs.
-    created_gpcs = sum(spec.size for spec in plan.create)
-    shadow_gpus = -(-created_gpcs // 7) if created_gpcs else 0
+    # on spare GPUs; the spare count is the slice-weight of created
+    # instances rounded up to whole GPUs, computed per geometry (7 GPC
+    # slices on a MIG A100, 8 XCDs on an MI300X) since a shadow device
+    # must match the hardware it stands in for.
+    from repro.gpu.geometry import get_geometry
+
+    created_by_geometry: dict[str, int] = {}
+    for spec in plan.create:
+        created_by_geometry[spec.geometry] = (
+            created_by_geometry.get(spec.geometry, 0) + spec.size
+        )
+    shadow_gpus = sum(
+        -(-gpcs // get_geometry(name).num_slices)
+        for name, gpcs in created_by_geometry.items()
+        if gpcs
+    )
 
     return ReconfigurationCost(
         total_work_s=total,

@@ -1,21 +1,32 @@
-"""GPC slice bitmask arithmetic.
+"""Compute-slice bitmask arithmetic, shared by every partition geometry.
 
-An A100-class GPU exposes seven GPC slices (numbered 0..6).  Everything in the
-MIG layer reasons about *which slices an instance occupies or blocks*, so we
-represent slice sets as 7-bit integers: bit ``i`` set means slice ``i`` is in
-the set.  Bitmasks keep the allocator's inner loops allocation-free and make
-property-based testing of layout legality cheap.
+A partitionable accelerator exposes a small fixed number of compute slices
+(seven GPC slices on an A100-class GPU, eight XCDs on an AMD MI300X).
+Everything in the partition layer reasons about *which slices an instance
+occupies or blocks*, so we represent slice sets as integers: bit ``i`` set
+means slice ``i`` is in the set.  Bitmasks keep the allocator's inner loops
+allocation-free and make property-based testing of layout legality cheap.
+
+Every helper takes the slice count as a keyword defaulting to
+:data:`NUM_SLICES` (the A100's seven GPCs) so the historical MIG call
+sites read unchanged; geometries with other slice counts pass their own.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+#: GPC slices on an A100-class GPU — the default slice count everywhere.
 NUM_SLICES = 7
 FULL_MASK = (1 << NUM_SLICES) - 1  # 0b1111111
 
 
-def mask_of(slices: Sequence[int]) -> int:
+def full_mask(num_slices: int = NUM_SLICES) -> int:
+    """Bitmask with every one of ``num_slices`` slices set."""
+    return (1 << num_slices) - 1
+
+
+def mask_of(slices: Sequence[int], num_slices: int = NUM_SLICES) -> int:
     """Build a bitmask from an iterable of slice indices.
 
     >>> bin(mask_of([0, 2, 3]))
@@ -23,27 +34,27 @@ def mask_of(slices: Sequence[int]) -> int:
     """
     m = 0
     for s in slices:
-        if not 0 <= s < NUM_SLICES:
-            raise ValueError(f"slice index {s} out of range 0..{NUM_SLICES - 1}")
+        if not 0 <= s < num_slices:
+            raise ValueError(f"slice index {s} out of range 0..{num_slices - 1}")
         m |= 1 << s
     return m
 
 
-def range_mask(start: int, length: int) -> int:
+def range_mask(start: int, length: int, num_slices: int = NUM_SLICES) -> int:
     """Bitmask of ``length`` contiguous slices beginning at ``start``."""
-    if start < 0 or length < 0 or start + length > NUM_SLICES:
-        raise ValueError(f"range [{start}, {start + length}) outside 0..{NUM_SLICES}")
+    if start < 0 or length < 0 or start + length > num_slices:
+        raise ValueError(f"range [{start}, {start + length}) outside 0..{num_slices}")
     return ((1 << length) - 1) << start
 
 
-def slice_indices(mask: int) -> tuple[int, ...]:
+def slice_indices(mask: int, num_slices: int = NUM_SLICES) -> tuple[int, ...]:
     """The slice indices present in ``mask``, ascending."""
-    return tuple(i for i in range(NUM_SLICES) if mask >> i & 1)
+    return tuple(i for i in range(num_slices) if mask >> i & 1)
 
 
-def popcount(mask: int) -> int:
+def popcount(mask: int, num_slices: int = NUM_SLICES) -> int:
     """Number of slices in ``mask``."""
-    return (mask & FULL_MASK).bit_count()
+    return (mask & full_mask(num_slices)).bit_count()
 
 
 def overlaps(a: int, b: int) -> bool:
@@ -56,22 +67,22 @@ def is_subset(a: int, b: int) -> bool:
     return a & ~b == 0
 
 
-def free_slices(occupied: int) -> tuple[int, ...]:
+def free_slices(occupied: int, num_slices: int = NUM_SLICES) -> tuple[int, ...]:
     """Indices of slices *not* present in ``occupied``."""
-    return slice_indices(FULL_MASK & ~occupied)
+    return slice_indices(full_mask(num_slices) & ~occupied, num_slices)
 
 
-def iter_runs(mask: int) -> Iterator[tuple[int, int]]:
+def iter_runs(mask: int, num_slices: int = NUM_SLICES) -> Iterator[tuple[int, int]]:
     """Yield ``(start, length)`` for each maximal run of set bits in ``mask``.
 
     Useful for reasoning about contiguous free space (external fragmentation
     at the single-GPU granularity).
     """
     i = 0
-    while i < NUM_SLICES:
+    while i < num_slices:
         if mask >> i & 1:
             j = i
-            while j < NUM_SLICES and mask >> j & 1:
+            while j < num_slices and mask >> j & 1:
                 j += 1
             yield i, j - i
             i = j
@@ -79,9 +90,9 @@ def iter_runs(mask: int) -> Iterator[tuple[int, int]]:
             i += 1
 
 
-def largest_free_run(occupied: int) -> int:
+def largest_free_run(occupied: int, num_slices: int = NUM_SLICES) -> int:
     """Length of the largest contiguous free run given ``occupied`` slices."""
     best = 0
-    for _, length in iter_runs(FULL_MASK & ~occupied):
+    for _, length in iter_runs(full_mask(num_slices) & ~occupied, num_slices):
         best = max(best, length)
     return best

@@ -21,25 +21,57 @@ partitions (0%); MIG-serving's scoring avoids unfilled configurations
 from __future__ import annotations
 
 from repro.core.placement import Placement
-from repro.gpu.gpu import SMS_PER_GPU
+from repro.gpu.geometry import get_geometry
+
+
+#: A100 SMs per GPC — the reference unit free compute is expressed in.
+_A100_SMS_PER_GPC = 14.0
+
+
+def _sm_equiv_scale(geometry_name: str) -> float:
+    """Vendor compute units -> A100-SM equivalents (1.0 for MIG)."""
+    geo = get_geometry(geometry_name)
+    return _A100_SMS_PER_GPC * geo.gpc_equiv_per_slice / geo.sms_per_slice
 
 
 def external_fragmentation(placement: Placement) -> float:
-    """Eq. 4 with the allocation frontier excluded, in [0, 1]."""
+    """Eq. 4 with the allocation frontier excluded, in [0, 1].
+
+    Free compute is counted in A100-SM *equivalents* (vendor units scaled
+    by each geometry's ``gpc_equiv_per_slice``), so frontier selection and
+    the denominator stay commensurable on heterogeneous placements — an
+    MI300X's 304 CUs are not compared against an A100's 98 SMs raw.  For
+    all-MIG placements the scale factor is exactly 1.0, preserving the
+    historical numbers bit-for-bit.
+    """
     used = [g for g in placement.gpus if not g.is_empty]
     if not used:
         return 0.0
-    free_sms = [SMS_PER_GPU - 14.0 * g.used_gpcs for g in used]
+    free_sms = []
+    for g in used:
+        geo = get_geometry(g.geometry)
+        free = g.total_sms - geo.sms_per_slice * g.used_gpcs
+        scale = _sm_equiv_scale(g.geometry)
+        free_sms.append(free if scale == 1.0 else free * scale)
     # The frontier GPU is the one with the most free capacity: its free
     # space is still open for allocation rather than fragmented.
     frontier = max(range(len(used)), key=free_sms.__getitem__)
     wasted = sum(f for i, f in enumerate(free_sms) if i != frontier)
-    denom = SMS_PER_GPU * len(used)
+    denom = sum(
+        g.total_sms * _sm_equiv_scale(g.geometry) for g in used
+    )
     return max(0.0, wasted / denom)
 
 
 def raw_fragmentation(placement: Placement) -> float:
-    """Eq. 4 verbatim (no frontier exclusion) — reported alongside."""
-    if placement.num_gpus == 0:
+    """Eq. 4 verbatim (no frontier exclusion) — reported alongside.
+
+    Counted in A100-SM equivalents like :func:`external_fragmentation`;
+    identical to the vendor-unit ratio on all-MIG placements.
+    """
+    used = [g for g in placement.gpus if not g.is_empty]
+    if not used:
         return 0.0
-    return max(0.0, 1.0 - placement.allocated_sms() / placement.total_sms())
+    allocated = sum(s.sm_equiv for _, s in placement.iter_segments())
+    total = sum(g.total_sms * _sm_equiv_scale(g.geometry) for g in used)
+    return max(0.0, 1.0 - allocated / total)

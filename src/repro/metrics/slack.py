@@ -51,8 +51,11 @@ def internal_slack(
                 raise KeyError(f"no measured activity for segment {key!r}")
         else:
             activity = segment_activity(seg.sm_activity, seg.load_fraction)
-        weighted += seg.sm_count * activity
-        total += seg.sm_count
+        # Weighted in A100-SM equivalents so heterogeneous segments are
+        # commensurable (raw CUs vs SMs would over-weight AMD partitions);
+        # identical to raw SMs on all-MIG placements.
+        weighted += seg.sm_equiv * activity
+        total += seg.sm_equiv
     if total == 0:
         return 0.0
     return 1.0 - weighted / total

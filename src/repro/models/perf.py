@@ -84,8 +84,16 @@ class PerfModel:
     ``generation`` optionally selects a
     :class:`~repro.gpu.generations.GPUGeneration` whose memory map replaces
     the default A100-80GB one — compute behaviour is generation-invariant
-    in this model (the paper's Discussion: identical MIG configurations
-    across Ampere/Hopper/Blackwell), only OOM boundaries move.
+    in this model within the NVIDIA line (the paper's Discussion:
+    identical MIG configurations across Ampere/Hopper/Blackwell), only OOM
+    boundaries move.
+
+    ``geometry`` optionally retargets the model at another
+    :class:`~repro.gpu.geometry.PartitionGeometry` entirely (e.g. the
+    MI300X): instance sizes are then that geometry's slice counts, memory
+    capacities come from its memory map, and compute scales through its
+    ``gpc_equiv_per_slice`` (an XCD is worth ~1.4 A100 GPCs here), so one
+    analytic surface serves every backend.
     """
 
     def __init__(
@@ -93,10 +101,12 @@ class PerfModel:
         spec: ModelSpec,
         contention: float = MPS_CONTENTION,
         generation=None,
+        geometry=None,
     ):
         self.spec = spec
         self.contention = contention
         self.generation = generation
+        self.geometry = geometry
 
     # ------------------------------------------------------------------ #
     # primitive quantities
@@ -124,11 +134,19 @@ class PerfModel:
 
     def fits(self, size: int, batch: int, procs: int) -> bool:
         """Whether the operating point avoids OOM on a size-``size`` instance."""
-        if self.generation is not None:
+        if self.geometry is not None:
+            capacity = self.geometry.instance_memory_gb(size)
+        elif self.generation is not None:
             capacity = self.generation.instance_memory_gb(size)
         else:
             capacity = instance_memory_gb(size)
         return self.memory_gb(batch, procs) <= capacity
+
+    def effective_gpcs(self, size: float) -> float:
+        """``size`` slices of the active geometry in A100-GPC equivalents."""
+        if self.geometry is None:
+            return float(size)
+        return self.geometry.gpc_equivalent(size)
 
     # ------------------------------------------------------------------ #
     # the model
@@ -158,16 +176,21 @@ class PerfModel:
         return min(1.0, procs * c / lat)
 
     def evaluate(self, size: float, batch: int, procs: int) -> OperatingPoint:
-        """Full :class:`OperatingPoint` for a MIG instance size (or fraction)."""
+        """Full :class:`OperatingPoint` for an instance size (or fraction).
+
+        ``instance_size`` is recorded in the active geometry's own slices;
+        latency/throughput are computed on the GPC-equivalent compute.
+        """
+        gpcs = self.effective_gpcs(size)
         return OperatingPoint(
             model=self.spec.name,
             instance_size=size,
             batch_size=batch,
             num_processes=procs,
-            latency_ms=self.latency_ms(size, batch, procs),
-            throughput=self.throughput(size, batch, procs),
+            latency_ms=self.latency_ms(gpcs, batch, procs),
+            throughput=self.throughput(gpcs, batch, procs),
             memory_gb=self.memory_gb(batch, procs),
-            sm_activity=self.sm_activity(size, batch, procs),
+            sm_activity=self.sm_activity(gpcs, batch, procs),
         )
 
     # ------------------------------------------------------------------ #
@@ -176,12 +199,18 @@ class PerfModel:
 
     def sweep(
         self,
-        sizes: tuple[int, ...] = INSTANCE_SIZES,
+        sizes: tuple[int, ...] | None = None,
         batches: tuple[int, ...] = PROFILE_BATCH_SIZES,
         procs: tuple[int, ...] = PROFILE_PROCESS_COUNTS,
         skip_oom: bool = True,
     ) -> list[OperatingPoint]:
         """Evaluate the full profiling grid, dropping OOM points by default."""
+        if sizes is None:
+            sizes = (
+                self.geometry.instance_sizes
+                if self.geometry is not None
+                else INSTANCE_SIZES
+            )
         points: list[OperatingPoint] = []
         for g in sizes:
             for b in batches:

@@ -1,24 +1,27 @@
 """The Profiler of SIII-C.
 
-Sweeps each workload over instance sizes {1,2,3,4,7} x eight batch sizes
-(1..128, powers of two) x process counts {1,2,3}, recording throughput and
-latency and *omitting* operating points that would exhaust the instance's
-framebuffer — exactly the grid (and the OOM gaps) visible in Figures 3/4.
+Sweeps each workload over the active geometry's instance sizes x eight
+batch sizes (1..128, powers of two) x process counts {1,2,3}, recording
+throughput and latency and *omitting* operating points that would exhaust
+the instance's framebuffer — exactly the grid (and the OOM gaps) visible
+in Figures 3/4.  The default geometry is A100-class MIG (sizes
+{1,2,3,4,7}); pass ``geometry=get_geometry("mi300x")`` to sweep the AMD
+XCD sizes {1,2,4,8} against the MI300X memory maps instead.
 
-On real hardware this step launches inference servers on reconfigured MIG
-instances; here each measurement is an :class:`~repro.models.perf.PerfModel`
-evaluation, optionally perturbed by a small deterministic measurement noise
-so that downstream algorithms cannot overfit to an exact analytic surface.
+On real hardware this step launches inference servers on reconfigured
+instances; here each measurement is an
+:class:`~repro.models.perf.PerfModel` evaluation, optionally perturbed by
+a small deterministic measurement noise so that downstream algorithms
+cannot overfit to an exact analytic surface.
 """
 
 from __future__ import annotations
 
 import hashlib
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Optional
 
-from repro.gpu.mig import INSTANCE_SIZES
+from repro.gpu.geometry import PartitionGeometry
 from repro.models.perf import (
     PROFILE_BATCH_SIZES,
     PROFILE_PROCESS_COUNTS,
@@ -41,22 +44,41 @@ class Profiler:
 
     ``noise`` is the relative amplitude of simulated measurement jitter
     (default 1%).  Zero gives the exact analytic surface, which the
-    calibration tests use.
+    calibration tests use.  ``geometry=None`` keeps the historical
+    MIG sweep (and its exact noise stream) bit-for-bit.
     """
 
-    instance_sizes: tuple[int, ...] = INSTANCE_SIZES
+    instance_sizes: Optional[tuple[int, ...]] = None
     batch_sizes: tuple[int, ...] = PROFILE_BATCH_SIZES
     process_counts: tuple[int, ...] = PROFILE_PROCESS_COUNTS
     noise: float = 0.01
+    geometry: Optional[PartitionGeometry] = None
     _cache: dict[str, ProfileTable] = field(default_factory=dict)
+
+    def _sizes(self) -> tuple[int, ...]:
+        if self.instance_sizes is not None:
+            return self.instance_sizes
+        if self.geometry is not None:
+            return self.geometry.instance_sizes
+        from repro.gpu.mig import INSTANCE_SIZES
+
+        return INSTANCE_SIZES
+
+    def _perf(self, spec: ModelSpec) -> PerfModel:
+        return PerfModel(spec, geometry=self.geometry)
+
+    def _cache_key(self, spec: ModelSpec) -> str:
+        geo = self.geometry.name if self.geometry is not None else "mig"
+        return f"{geo}/{spec.name}"
 
     def profile(self, spec: ModelSpec) -> ProfileTable:
         """Measure the full grid for one workload (cached)."""
-        if spec.name in self._cache:
-            return self._cache[spec.name]
-        perf = PerfModel(spec)
+        key = self._cache_key(spec)
+        if key in self._cache:
+            return self._cache[key]
+        perf = self._perf(spec)
         table = ProfileTable(spec.name)
-        for g in self.instance_sizes:
+        for g in self._sizes():
             for b in self.batch_sizes:
                 for p in self.process_counts:
                     if not perf.fits(g, b, p):
@@ -84,7 +106,7 @@ class Profiler:
             raise RuntimeError(
                 f"{spec.name}: no feasible operating point fits any instance"
             )
-        self._cache[spec.name] = table
+        self._cache[key] = table
         return table
 
     def profile_by_name(self, name: str) -> ProfileTable:
@@ -92,10 +114,10 @@ class Profiler:
 
     def estimated_profiling_cost_s(self, spec: ModelSpec, per_point_s: float = 10.0) -> float:
         """Rough wall-clock a real profiling run would take (for reports)."""
-        perf = PerfModel(spec)
+        perf = self._perf(spec)
         n = sum(
             1
-            for g in self.instance_sizes
+            for g in self._sizes()
             for b in self.batch_sizes
             for p in self.process_counts
             if perf.fits(g, b, p)
@@ -104,9 +126,15 @@ class Profiler:
 
 
 def profile_workloads(
-    names: Iterable[str] | None = None, noise: float = 0.01
+    names: Iterable[str] | None = None,
+    noise: float = 0.01,
+    geometry: Optional[PartitionGeometry] = None,
 ) -> Mapping[str, ProfileTable]:
-    """Profile a set of workloads (default: the full Table-IV zoo)."""
-    profiler = Profiler(noise=noise)
+    """Profile a set of workloads (default: the full Table-IV zoo).
+
+    ``geometry`` retargets the sweep (sizes + memory maps + compute scale)
+    at another partition geometry; omit it for the paper's A100 MIG grid.
+    """
+    profiler = Profiler(noise=noise, geometry=geometry)
     selected = list(names) if names is not None else sorted(WORKLOADS)
     return {name: profiler.profile_by_name(name) for name in selected}

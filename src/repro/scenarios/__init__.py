@@ -1,15 +1,27 @@
-"""Evaluation scenarios: Table IV and the SIV-D scaling sweep."""
+"""Evaluation scenarios: Table IV, the SIV-D scaling sweep, and the
+geometry-stress extensions S7/S8.
 
-from repro.scenarios.table4 import (
+:func:`get_scenario` and :func:`scenario_services` resolve names across
+*all* registered scenario tables (S1-S6 from Table IV, S7/S8 from
+:mod:`repro.scenarios.extended`) via :mod:`repro.scenarios.registry`.
+"""
+
+from repro.scenarios.registry import (
     SCENARIOS,
-    Scenario,
+    SCENARIO_NAMES,
     get_scenario,
     scenario_services,
+)
+from repro.scenarios.table4 import (
+    SCENARIO_NAMES as TABLE4_SCENARIO_NAMES,
+    Scenario,
 )
 from repro.scenarios.scaling import scaled_scenario
 
 __all__ = [
     "SCENARIOS",
+    "SCENARIO_NAMES",
+    "TABLE4_SCENARIO_NAMES",
     "Scenario",
     "get_scenario",
     "scenario_services",

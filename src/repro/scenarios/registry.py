@@ -1,0 +1,42 @@
+"""The combined scenario registry: Table IV (S1-S6) plus extensions.
+
+Single source of truth for resolving scenario names — every public
+resolver (:func:`repro.scenarios.get_scenario`, the Table-IV module's
+historical ``get_scenario``, and the SIV-D scaling sweep) routes here, so
+new scenario tables register once and are visible everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.core.service import Service
+from repro.scenarios.extended import EXTENDED_SCENARIOS
+from repro.scenarios.table4 import SCENARIOS as TABLE4_SCENARIOS, Scenario
+
+#: Every registered scenario, Table-IV columns first.
+SCENARIOS: dict[str, Scenario] = {**TABLE4_SCENARIOS, **EXTENDED_SCENARIOS}
+
+SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}"
+        ) from None
+
+
+def scenario_services(scenario: Scenario | str) -> list[Service]:
+    """Fresh :class:`Service` objects for a scenario (scheduler input)."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    return [
+        Service(
+            id=load.model,
+            model=load.model,
+            slo_latency_ms=load.slo_latency_ms,
+            request_rate=load.request_rate,
+        )
+        for load in scenario.loads
+    ]

@@ -121,24 +121,18 @@ SCENARIO_NAMES: tuple[str, ...] = ("S1", "S2", "S3", "S4", "S5", "S6")
 
 
 def get_scenario(name: str) -> Scenario:
-    try:
-        return SCENARIOS[name.upper()]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}"
-        ) from None
+    """Resolve across *all* registered scenario tables, not just Table IV.
+
+    Delegates to :mod:`repro.scenarios.registry` (imported lazily: the
+    registry imports this module's tables at load time).
+    """
+    from repro.scenarios.registry import get_scenario as _resolve
+
+    return _resolve(name)
 
 
 def scenario_services(scenario: Scenario | str) -> list[Service]:
     """Fresh :class:`Service` objects for a scenario (scheduler input)."""
-    if isinstance(scenario, str):
-        scenario = get_scenario(scenario)
-    return [
-        Service(
-            id=load.model,
-            model=load.model,
-            slo_latency_ms=load.slo_latency_ms,
-            request_rate=load.request_rate,
-        )
-        for load in scenario.loads
-    ]
+    from repro.scenarios.registry import scenario_services as _services
+
+    return _services(scenario)

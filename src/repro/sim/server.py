@@ -55,8 +55,11 @@ class SegmentServer:
         self.warmup_s = warmup_s
 
         self.perf = PerfModel(get_model(segment.model))
+        #: slice counts are geometry-local (an XCD != a GPC); the perf
+        #: model runs on A100-GPC equivalents for every backend.
+        self.gpcs = segment.effective_gpcs
         clean = self.perf.latency_ms(
-            segment.gpcs, segment.batch_size, segment.num_processes
+            self.gpcs, segment.batch_size, segment.num_processes
         )
         #: ratio of scheduler-expected latency (incl. interference) to the
         #: clean model: applied to every execution in this partition.
@@ -126,12 +129,12 @@ class SegmentServer:
                 self.segment.num_processes - self.free_procs + 1
             )  # executors busy after this dispatch
             exec_ms = (
-                self.perf.latency_ms(self.segment.gpcs, b, concurrency)
+                self.perf.latency_ms(self.gpcs, b, concurrency)
                 * self.slowdown
             )
             if now >= self.warmup_s:
                 self.tracker.record_busy(
-                    self.key, self.perf.compute_ms(self.segment.gpcs, b) / 1e3
+                    self.key, self.perf.compute_ms(self.gpcs, b) / 1e3
                 )
             self.free_procs -= 1
             self.events.schedule(

@@ -1,0 +1,160 @@
+"""Unit tests for the MI300X XCD partition geometry (mirrors test_mig.py)."""
+
+import pytest
+
+from repro.gpu.amd import (
+    COMPUTE_MODES,
+    CUS_PER_XCD,
+    MI300X_GEOMETRY,
+    MI300X_MEMORY_GB,
+    NUM_XCDS,
+    compute_mode_for,
+    enumerate_modes,
+    legal_memory_modes,
+)
+from repro.gpu.geometry import PartitionLayout
+from repro.gpu.slices import popcount, slice_indices
+
+
+class TestProfiles:
+    def test_sizes_are_the_four_modes(self):
+        assert MI300X_GEOMETRY.instance_sizes == (1, 2, 4, 8)
+        assert set(COMPUTE_MODES.values()) == set(MI300X_GEOMETRY.instance_sizes)
+
+    def test_no_odd_sizes(self):
+        # XCD modes are power-of-two tilings; 3, 5, 6, 7 do not exist.
+        for bad in (0, 3, 5, 6, 7, 9):
+            with pytest.raises(ValueError):
+                MI300X_GEOMETRY.legal_starts(bad)
+
+    def test_memory_map_is_proportional_hbm_split(self):
+        # 192 GB HBM: SPX owns it all, DPX 96, QPX 48, CPX 24.
+        assert [MI300X_GEOMETRY.memory_map[s] for s in (8, 4, 2, 1)] == [
+            192.0,
+            96.0,
+            48.0,
+            24.0,
+        ]
+        assert MI300X_GEOMETRY.total_memory_gb == MI300X_MEMORY_GB
+
+    def test_profile_names(self):
+        assert MI300X_GEOMETRY.profile_name(8) == "spx.192gb"
+        assert MI300X_GEOMETRY.profile_name(1) == "cpx.24gb"
+
+    def test_compute_mode_names(self):
+        assert compute_mode_for(8) == "SPX"
+        assert compute_mode_for(4) == "DPX"
+        assert compute_mode_for(2) == "QPX"
+        assert compute_mode_for(1) == "CPX"
+        with pytest.raises(ValueError):
+            compute_mode_for(3)
+
+    def test_compute_units(self):
+        assert MI300X_GEOMETRY.sms_per_slice == CUS_PER_XCD
+        assert MI300X_GEOMETRY.total_sms == 304  # 8 XCDs x 38 CUs
+
+
+class TestLegalStarts:
+    def test_sizes_tile_the_device(self):
+        assert MI300X_GEOMETRY.legal_starts(8) == (0,)
+        assert MI300X_GEOMETRY.legal_starts(4) == (0, 4)
+        assert MI300X_GEOMETRY.legal_starts(2) == (0, 2, 4, 6)
+        assert MI300X_GEOMETRY.legal_starts(1) == tuple(range(8))
+
+    def test_no_extended_rule_set(self):
+        # AMD has no analogue of MIG's extended slot-5 rule.
+        for size in MI300X_GEOMETRY.instance_sizes:
+            assert MI300X_GEOMETRY.legal_starts(
+                size, extended=True
+            ) == MI300X_GEOMETRY.legal_starts(size, extended=False)
+
+    def test_no_blocked_slices(self):
+        # Tilings are exact: occupied == [start, start+size) for every slot.
+        for size in MI300X_GEOMETRY.instance_sizes:
+            for start in MI300X_GEOMETRY.legal_starts(size):
+                mask = MI300X_GEOMETRY.occupied_mask(size, start)
+                assert popcount(mask, num_slices=NUM_XCDS) == size
+                assert slice_indices(mask, num_slices=NUM_XCDS) == tuple(
+                    range(start, start + size)
+                )
+
+
+class TestMemoryModes:
+    def test_nps4_requires_cpx(self):
+        # Guide: #memory partitions <= #compute partitions; NPS4 needs CPX.
+        assert legal_memory_modes(1) == ("NPS1", "NPS4")
+        for size in (2, 4, 8):
+            assert legal_memory_modes(size) == ("NPS1",)
+
+    def test_memory_invariants(self):
+        # Memory shares mirror the MIG invariants of test_mig: the biggest
+        # instance owns the board and capacity scales with slice count.
+        geo = MI300X_GEOMETRY
+        assert geo.instance_memory_gb(geo.whole_gpu_size) == MI300X_MEMORY_GB
+        for size in geo.instance_sizes:
+            assert geo.instance_memory_gb(size) == pytest.approx(
+                MI300X_MEMORY_GB * size / NUM_XCDS
+            )
+
+    def test_feasible_sizes_by_footprint(self):
+        # A 30 GB workload fits everything but a CPX partition.
+        assert MI300X_GEOMETRY.feasible_sizes(30.0) == (2, 4, 8)
+        # A 100 GB workload only fits SPX.
+        assert MI300X_GEOMETRY.feasible_sizes(100.0) == (8,)
+
+
+class TestUniformModeLayouts:
+    def test_mixed_sizes_rejected(self):
+        # Compute-partition modes are device-wide: DPX + QPX cannot coexist.
+        layout = PartitionLayout(MI300X_GEOMETRY)
+        layout.add(MI300X_GEOMETRY.place(4, 0))
+        assert not layout.can_add(2, 4)
+        assert not layout.can_add(1, 7)
+        assert layout.can_add(4, 4)
+        with pytest.raises(ValueError):
+            layout.add(MI300X_GEOMETRY.place(2, 4))
+
+    def test_overlap_rejected(self):
+        layout = PartitionLayout(MI300X_GEOMETRY)
+        layout.add(MI300X_GEOMETRY.place(4, 0))
+        with pytest.raises(ValueError):
+            layout.add(MI300X_GEOMETRY.place(4, 0))
+
+    def test_remove_restores(self):
+        layout = PartitionLayout(MI300X_GEOMETRY)
+        inst = MI300X_GEOMETRY.place(8, 0)
+        layout.add(inst)
+        assert not layout.can_add(8, 0)
+        layout.remove(inst)
+        assert layout.can_add(8, 0)
+        assert len(layout) == 0
+
+    def test_used_slices_counts_compute(self):
+        layout = PartitionLayout(
+            MI300X_GEOMETRY,
+            [MI300X_GEOMETRY.place(2, 0), MI300X_GEOMETRY.place(2, 2)],
+        )
+        assert layout.used_gpcs == 4
+        assert layout.sizes() == (2, 2)
+
+
+class TestModeEnumeration:
+    def test_exactly_four_modes(self):
+        # The AMD Figure-1 analogue: SPX, DPX, QPX, CPX — nothing else.
+        assert len(enumerate_modes()) == 4
+
+    def test_mode_shapes(self):
+        sizes = [layout.sizes() for layout in enumerate_modes()]
+        assert sizes == [(8,), (4, 4), (2, 2, 2, 2), (1,) * 8]
+
+    def test_all_maximal_and_unique(self):
+        layouts = enumerate_modes()
+        sigs = {l.signature() for l in layouts}
+        assert len(sigs) == len(layouts)
+        for l in layouts:
+            assert l.is_maximal()
+
+    def test_every_mode_uses_all_xcds(self):
+        # No blocked slices means every maximal layout covers the device.
+        for l in enumerate_modes():
+            assert l.used_gpcs == NUM_XCDS
