@@ -15,6 +15,12 @@ from repro.experiments.registry import ExperimentResult
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
+# Artifacts whose rows include wall-clock scheduling delays
+# (metrics/delay.py::timed_call).  Those jitter with machine speed and
+# load, so re-runs land in a gitignored ``<id>.local.txt`` sidecar
+# instead of overwriting the committed golden.
+WALL_CLOCK_IDS = frozenset({"fig9", "fig11", "table1x"})
+
 
 @pytest.fixture(scope="session")
 def profiles():
@@ -30,7 +36,8 @@ def archive():
 
     def _archive(result: ExperimentResult) -> ExperimentResult:
         text = result.render()
-        (OUT_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        suffix = ".local.txt" if result.experiment_id in WALL_CLOCK_IDS else ".txt"
+        (OUT_DIR / f"{result.experiment_id}{suffix}").write_text(text + "\n")
         print()
         print(text)
         return result

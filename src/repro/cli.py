@@ -42,7 +42,7 @@ _PARVAGPU_FAMILY = ("parvagpu", "parvagpu-single", "parvagpu-unoptimized")
 
 
 def _make_scheduler(framework: str, geometry: str):
-    """Build (scheduler, services-independent) for a geometry choice."""
+    """Build a scheduler for a framework + geometry choice."""
     key = framework.strip().lower()
     if geometry == MIXED_GEOMETRY:
         if key != "parvagpu":

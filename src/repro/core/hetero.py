@@ -124,10 +124,17 @@ class HeterogeneousParvaGPU:
     def efficiency(self, service: Service, pool: GeometryPool) -> Optional[float]:
         """Best throughput per GPC-equivalent on ``pool``, None if infeasible."""
         configurator = self._configurators[pool.name]
+        # triplet_decision writes service.opt_tri_array as a side effect;
+        # restore it so scoring a pool never leaves another geometry's
+        # triplets on the service (demand_matching reuses a non-empty
+        # opt_tri_array verbatim).
+        saved = service.opt_tri_array
         try:
             tri = configurator.triplet_decision(service)
         except InfeasibleServiceError:
             return None
+        finally:
+            service.opt_tri_array = saved
         return max(
             e.throughput / pool.geometry.gpc_equivalent(e.instance_size)
             for e in tri.values()

@@ -24,6 +24,7 @@ from typing import Iterable, Iterator, Literal, Optional
 
 from repro.gpu.geometry import PartitionLayout, get_geometry
 from repro.gpu.cluster import InstanceSpec
+from repro.gpu.mig import SMS_PER_GPC
 
 PartitionKind = Literal["mig", "mps", "xcd"]
 
@@ -71,13 +72,13 @@ class PlacedSegment:
 
     @property
     def sm_equiv(self) -> float:
-        """A100-SM equivalents (14 x GPC-equivalents).
+        """A100-SM equivalents (``SMS_PER_GPC`` x GPC-equivalents).
 
         The cross-vendor weight for metrics: raw ``sm_count`` mixes SMs
         and CUs on heterogeneous placements.  Identical to ``sm_count``
         for MIG segments.
         """
-        return 14.0 * self.effective_gpcs
+        return SMS_PER_GPC * self.effective_gpcs
 
     @property
     def load_fraction(self) -> float:

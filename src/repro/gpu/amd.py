@@ -109,10 +109,9 @@ MI300X_GEOMETRY: PartitionGeometry = register_geometry(
         canonical_starts=_STARTS,
         extended_starts=_STARTS,
         blocked_extra={},
-        # Uniform tiling means there are no "bad" slots to avoid: prefer
-        # low XCD indices so partially-filled devices stay contiguous.
-        slot_preferences={size: starts for size, starts in _STARTS.items()},
-        slot_fallbacks={size: () for size in _STARTS},
+        # Uniform tiling means there are no "bad" slots to avoid; the
+        # defaults (prefer every legal start in order, no fallbacks) keep
+        # partially-filled devices contiguous from low XCD indices.
         sms_per_slice=CUS_PER_XCD,
         gpc_equiv_per_slice=GPC_EQUIV_PER_XCD,
         uniform_instance_sizes=True,

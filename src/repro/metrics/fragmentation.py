@@ -22,16 +22,13 @@ from __future__ import annotations
 
 from repro.core.placement import Placement
 from repro.gpu.geometry import get_geometry
-
-
-#: A100 SMs per GPC — the reference unit free compute is expressed in.
-_A100_SMS_PER_GPC = 14.0
+from repro.gpu.mig import SMS_PER_GPC
 
 
 def _sm_equiv_scale(geometry_name: str) -> float:
     """Vendor compute units -> A100-SM equivalents (1.0 for MIG)."""
     geo = get_geometry(geometry_name)
-    return _A100_SMS_PER_GPC * geo.gpc_equiv_per_slice / geo.sms_per_slice
+    return SMS_PER_GPC * geo.gpc_equiv_per_slice / geo.sms_per_slice
 
 
 def external_fragmentation(placement: Placement) -> float:
