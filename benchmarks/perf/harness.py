@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Fleet-scale scheduling perf harness (opt-in — not part of tier-1).
+
+Schedules deterministic synthetic fleets (see ``repro.scenarios.fleet``)
+of 100/1000/5000 services on the MIG, MI300X, and mixed geometries with
+the fast-path scheduler (indexed allocator + memoized configurator) and,
+up to ``--naive-cap`` services, with the naive reference path.  Every
+fast/naive pair is checked for byte-identical placements; wall-clocks,
+GPU counts, and speedups land in ``BENCH_schedule.json``.  The S10 pass
+drives a phase-shifted diurnal fleet through the autoscaler's SIII-F
+incremental path.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py
+    PYTHONPATH=src python benchmarks/perf/harness.py \
+        --tiers 100 --baseline benchmarks/perf/baseline.json
+
+With ``--baseline``, indexed wall-clocks are compared against the
+committed reference; the exit code is non-zero when any matched tier
+regresses by more than ``--max-regress`` (the CI perf-smoke gate).
+File names here deliberately avoid the ``test_`` prefix so pytest never
+collects the harness into the tier-1 run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.autoscaler import Autoscaler  # noqa: E402
+from repro.core.hetero import make_mixed_scheduler  # noqa: E402
+from repro.core.parvagpu import ParvaGPU  # noqa: E402
+from repro.gpu.geometry import get_geometry  # noqa: E402
+from repro.profiler import profile_workloads  # noqa: E402
+from repro.scenarios.fleet import (  # noqa: E402
+    FLEET_TIERS,
+    S10_EPOCHS,
+    S10_FLEET_SIZE,
+    fleet_services,
+    fleet_traces,
+)
+
+# Default to a gitignored sidecar (the repo's wall-clock convention, cf.
+# benchmarks/out/*.local.txt): casual runs must never clobber the
+# committed BENCH_schedule.json reproduction evidence.  Pass --out
+# benchmarks/perf/BENCH_schedule.json to regenerate it deliberately.
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_schedule.local.json"
+GEOMETRIES = ("mig", "mi300x", "mixed")
+
+
+def _make_scheduler(geometry: str, fast_path: bool):
+    """A fresh scheduler for one fleet run (profiles cached per process)."""
+    if geometry == "mixed":
+        return make_mixed_scheduler(fast_path=fast_path)
+    geo = get_geometry(geometry)
+    profiles = (
+        profile_workloads()
+        if geo.name == "mig"
+        else profile_workloads(geometry=geo)
+    )
+    return ParvaGPU(profiles, geometry=geo, fast_path=fast_path)
+
+
+def _timed_schedule(scheduler, services):
+    t0 = time.perf_counter()
+    placement = scheduler.schedule(services)
+    return placement, time.perf_counter() - t0
+
+
+def run_fleet_sweep(tiers, geometries, naive_cap):
+    """The S9 sweep: schedule each tier on each geometry, fast vs naive."""
+    rows = []
+    for tier in tiers:
+        for geometry in geometries:
+            services = fleet_services(tier)
+            fast, fast_wall = _timed_schedule(
+                _make_scheduler(geometry, fast_path=True), services
+            )
+            row = {
+                "scenario": "S9",
+                "tier": tier,
+                "geometry": geometry,
+                "services": len(services),
+                "segments": sum(1 for _ in fast.iter_segments()),
+                "gpus": fast.num_gpus,
+                "indexed_wall_s": round(fast_wall, 6),
+                "naive_wall_s": None,
+                "speedup": None,
+                "identical": None,
+            }
+            if tier <= naive_cap:
+                naive, naive_wall = _timed_schedule(
+                    _make_scheduler(geometry, fast_path=False), services
+                )
+                row["naive_wall_s"] = round(naive_wall, 6)
+                row["speedup"] = round(naive_wall / fast_wall, 2)
+                row["identical"] = naive.fingerprint() == fast.fingerprint()
+                if not row["identical"]:
+                    raise SystemExit(
+                        f"FATAL: indexed and naive placements differ for "
+                        f"{tier} services on {geometry}"
+                    )
+            rows.append(row)
+            speedup = (
+                f"{row['speedup']}x vs naive" if row["speedup"] else "naive skipped"
+            )
+            print(
+                f"  S9 {geometry:>6} n={tier:<5} "
+                f"{row['indexed_wall_s']*1e3:8.1f} ms  "
+                f"{row['gpus']:>5} GPUs  ({speedup})"
+            )
+    return rows
+
+
+def run_autoscaler_trace(num_services, epochs):
+    """The S10 pass: a diurnal fleet through the SIII-F incremental path."""
+    services = fleet_services(num_services)
+    traces = fleet_traces(services, epochs=epochs)
+    scaler = Autoscaler(profile_workloads())
+    t0 = time.perf_counter()
+    report = scaler.run(services, traces)
+    wall = time.perf_counter() - t0
+    row = {
+        "scenario": "S10",
+        "services": num_services,
+        "trace_epochs": epochs,
+        "steps": len(report.steps),
+        "wall_s": round(wall, 6),
+        "peak_gpus": report.peak_gpus,
+        "mean_gpus": round(report.mean_gpus, 2),
+        "reconfig_ops": report.total_reconfig_ops,
+    }
+    print(
+        f"  S10 {num_services} services x {epochs} epochs: "
+        f"{wall:.2f} s, {len(report.steps)} steps, "
+        f"peak {report.peak_gpus} GPUs"
+    )
+    return row
+
+
+def check_baseline(rows, baseline_path, max_regress):
+    """Compare indexed wall-clocks to the committed baseline (>Nx fails)."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    reference = {
+        (r["tier"], r["geometry"]): r["indexed_wall_s"]
+        for r in baseline.get("fleets", [])
+    }
+    regressions = []
+    for row in rows:
+        ref = reference.get((row["tier"], row["geometry"]))
+        if ref is None:
+            continue
+        ratio = row["indexed_wall_s"] / ref
+        marker = "REGRESSION" if ratio > max_regress else "ok"
+        print(
+            f"  baseline {row['geometry']:>6} n={row['tier']:<5} "
+            f"{ratio:5.2f}x of reference ({marker})"
+        )
+        if ratio > max_regress:
+            regressions.append((row["tier"], row["geometry"], ratio))
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiers",
+        default=",".join(str(t) for t in FLEET_TIERS),
+        help="comma-separated fleet sizes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--geometries",
+        default=",".join(GEOMETRIES),
+        help="comma-separated geometries (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--naive-cap",
+        type=int,
+        default=1000,
+        help="largest tier also timed on the O(n^2) naive path "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help="result JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="committed baseline JSON to regress against",
+    )
+    parser.add_argument(
+        "--max-regress", type=float, default=2.0,
+        help="fail when indexed wall-clock exceeds baseline by this factor",
+    )
+    parser.add_argument(
+        "--skip-autoscaler", action="store_true",
+        help="skip the S10 autoscaler trace pass",
+    )
+    parser.add_argument(
+        "--autoscaler-services", type=int, default=S10_FLEET_SIZE,
+    )
+    parser.add_argument(
+        "--autoscaler-epochs", type=int, default=S10_EPOCHS,
+    )
+    args = parser.parse_args(argv)
+
+    tiers = [int(t) for t in args.tiers.split(",") if t]
+    geometries = [g.strip() for g in args.geometries.split(",") if g.strip()]
+
+    print(f"fleet sweep: tiers={tiers} geometries={geometries}")
+    fleets = run_fleet_sweep(tiers, geometries, args.naive_cap)
+    autoscaler = None
+    if not args.skip_autoscaler:
+        autoscaler = run_autoscaler_trace(
+            args.autoscaler_services, args.autoscaler_epochs
+        )
+
+    doc = {
+        "version": 1,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "fleets": fleets,
+        "autoscaler": autoscaler,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.baseline is not None:
+        regressions = check_baseline(fleets, args.baseline, args.max_regress)
+        if regressions:
+            print(f"FAIL: {len(regressions)} tier(s) regressed "
+                  f">{args.max_regress}x against {args.baseline}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

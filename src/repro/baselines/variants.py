@@ -42,9 +42,15 @@ FRAMEWORK_NAMES: tuple[str, ...] = (
 
 
 def make_framework(
-    name: str, profiles: Mapping[str, ProfileTable]
+    name: str, profiles: Mapping[str, ProfileTable], fast_path: bool = True
 ) -> Scheduler:
-    """Instantiate a scheduler by its evaluation name."""
+    """Instantiate a scheduler by its evaluation name.
+
+    ``fast_path=False`` builds the ParvaGPU variants on the naive
+    (unindexed, unmemoized) scans — placements are identical either way;
+    the wall-clock experiments reproducing the paper's scheduling-delay
+    figures use it so their timings measure the paper's algorithms.
+    """
     key = name.strip().lower()
     if key == "gpulet":
         return Gpulet(profiles)
@@ -57,11 +63,11 @@ def make_framework(
     if key == "mig-serving":
         return MigServing(profiles)
     if key == "parvagpu":
-        return ParvaGPU(profiles)
+        return ParvaGPU(profiles, fast_path=fast_path)
     if key == "parvagpu-single":
-        return ParvaGPU(profiles, use_mps=False)
+        return ParvaGPU(profiles, use_mps=False, fast_path=fast_path)
     if key == "parvagpu-unoptimized":
-        return ParvaGPU(profiles, optimize=False)
+        return ParvaGPU(profiles, optimize=False, fast_path=fast_path)
     raise KeyError(
         f"unknown framework {name!r}; known: "
         f"{', '.join(FRAMEWORK_NAMES + ('parvagpu-unoptimized', 'gslice', 'paris-elsa'))}"

@@ -6,6 +6,8 @@
   Demand Matching.
 - :mod:`repro.core.allocator`    -- Algorithm 2: Segment Relocation +
   Allocation Optimization.
+- :mod:`repro.core.slotindex`    -- per-size free-slot indexes, the
+  allocator's first-fit fast path (byte-identical placements).
 - :mod:`repro.core.placement`    -- the deployment map produced by the
   allocator, shared with every baseline.
 - :mod:`repro.core.deployment`   -- mapping a deployment map onto a
@@ -21,6 +23,7 @@ from repro.core.segments import Segment
 from repro.core.placement import GPUPlan, Placement, PlacedSegment
 from repro.core.configurator import SegmentConfigurator
 from repro.core.allocator import SegmentAllocator, OPTIMIZATION_GPC_THRESHOLD
+from repro.core.slotindex import SlotIndex
 from repro.core.parvagpu import ParvaGPU
 from repro.core.hetero import GeometryPool, HeterogeneousParvaGPU
 from repro.core.deployment import DeploymentManager
@@ -37,6 +40,7 @@ __all__ = [
     "PlacedSegment",
     "SegmentConfigurator",
     "SegmentAllocator",
+    "SlotIndex",
     "OPTIMIZATION_GPC_THRESHOLD",
     "ParvaGPU",
     "DeploymentManager",

@@ -39,6 +39,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 from repro.core.placement import GPUPlan, PlacedSegment, Placement
 from repro.core.segments import Segment
 from repro.core.service import Service
+from repro.core.slotindex import SlotIndex
 from repro.gpu.geometry import PartitionGeometry, PartitionLayout
 from repro.gpu.mig import MIG_GEOMETRY
 from repro.profiler.table import ProfileEntry
@@ -84,21 +85,31 @@ class _GPUState:
     def is_empty(self) -> bool:
         return not self.placed
 
+    def first_free_slot(self, size: int, fallback: bool = False) -> Optional[int]:
+        """First preference-ordered slot that can host ``size``, or None."""
+        slots = (
+            self.geometry.fallback_slots(size)
+            if fallback
+            else self.geometry.preferred_slots(size)
+        )
+        for start in slots:
+            if self.layout.can_add(size, start):
+                return start
+        return None
+
+    def has_free_slot(self, size: int, fallback: bool = False) -> bool:
+        return self.first_free_slot(size, fallback=fallback) is not None
+
     def try_place(self, seg: Segment, fallback: bool = False) -> Optional[int]:
         """Place ``seg`` at a preferred (or fallback) slot, or return None."""
         if seg.geometry.name != self.geometry.name:
             return None  # a segment never lands on a foreign-geometry GPU
-        slots = (
-            self.geometry.fallback_slots(seg.instance_size)
-            if fallback
-            else self.geometry.preferred_slots(seg.instance_size)
-        )
-        for start in slots:
-            if self.layout.can_add(seg.instance_size, start):
-                self.layout.add(self.geometry.place(seg.instance_size, start))
-                self.placed.append((seg, start))
-                return start
-        return None
+        start = self.first_free_slot(seg.instance_size, fallback=fallback)
+        if start is None:
+            return None
+        self.layout.add(self.geometry.place(seg.instance_size, start))
+        self.placed.append((seg, start))
+        return start
 
     def free_all(self) -> list[Segment]:
         """Drain every segment, returning them."""
@@ -158,6 +169,13 @@ class SegmentAllocator:
     ``optimize=False`` yields the ParvaGPU-unoptimized ablation (Segment
     Relocation only, Fig. 7's comparison point).  ``geometry`` selects the
     partition geometry the segments target (MIG by default).
+
+    ``indexed`` (default) routes every first-fit probe through a
+    :class:`~repro.core.slotindex.SlotIndex` instead of the linear GPU
+    scan.  Placements are byte-identical either way — the index is keyed
+    by GPU list position and probes slots in the same preference order —
+    so ``indexed=False`` exists only as the reference path for the
+    identity property test and the perf harness's naive baseline.
     """
 
     def __init__(
@@ -165,41 +183,81 @@ class SegmentAllocator:
         optimize: bool = True,
         threshold: int = OPTIMIZATION_GPC_THRESHOLD,
         geometry: PartitionGeometry = MIG_GEOMETRY,
+        indexed: bool = True,
     ) -> None:
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
         self.optimize = optimize
         self.threshold = threshold
         self.geometry = geometry
+        self.indexed = indexed
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
 
+    def make_index(self, gpus: list[_GPUState]) -> Optional[SlotIndex]:
+        """A slot index over ``gpus`` (None when running unindexed).
+
+        Incremental callers — the SIII-F SLO-update path and failover —
+        rebuild allocator state with :func:`states_from_placement` and
+        then index it once here, sharing the index across their
+        relocation and optimization calls.
+        """
+        return SlotIndex(gpus) if self.indexed else None
+
     def allocate(self, services: Sequence[Service]) -> Placement:
         """Full Algorithm 2: relocation, then optional optimization."""
-        gpus = self.segment_relocation(services)
+        gpus: list[_GPUState] = []
+        index = self.make_index(gpus)
+        self._relocate(services, gpus, index)
         if self.optimize:
-            gpus = self.allocation_optimization(gpus, services)
+            gpus = self.allocation_optimization(gpus, services, index=index)
         return self._to_placement(gpus)
 
     def segment_relocation(self, services: Sequence[Service]) -> list[_GPUState]:
         """``SEGMENTRELOCATION`` (Algorithm 2 lines 3-10)."""
+        gpus: list[_GPUState] = []
+        self._relocate(services, gpus, self.make_index(gpus))
+        return gpus
+
+    def _relocate(
+        self,
+        services: Sequence[Service],
+        gpus: list[_GPUState],
+        index: Optional[SlotIndex],
+    ) -> None:
         queues = self._new_queues(self.geometry.instance_sizes)
         for svc in services:
             for seg in svc.segments():
                 self._enqueue(queues, seg)
-        gpus: list[_GPUState] = []
-        self._allocation(queues, gpus, self.geometry)
-        return gpus
+        self._allocation(queues, gpus, self.geometry, index=index)
 
     def allocation_optimization(
-        self, gpus: list[_GPUState], services: Sequence[Service]
+        self,
+        gpus: list[_GPUState],
+        services: Sequence[Service],
+        index: Optional[SlotIndex] = None,
     ) -> list[_GPUState]:
         """``ALLOCATIONOPTIMIZATION`` (Algorithm 2 lines 13-30)."""
+        if index is None and self.indexed:
+            index = SlotIndex(gpus)
         by_id: dict[str, Service] = {s.id: s for s in services}
+        # Optimization consults every hosted service's triplet array when
+        # judging a drain candidate, so a hosted service absent from
+        # ``services`` would otherwise surface as a bare KeyError deep in
+        # the loop (reachable from every incremental caller: SLO updates,
+        # failover).  Fail up front with names.
+        hosted = {seg.service_id for state in gpus for seg, _ in state.placed}
+        missing = sorted(hosted - by_id.keys())
+        if missing:
+            raise ValueError(
+                "placement hosts services missing from the `services` "
+                f"argument: {', '.join(missing)}"
+            )
         freed_rate: dict[str, float] = {}
-        for state in reversed(list(gpus)):
+        for pos in range(len(gpus) - 1, -1, -1):
+            state = gpus[pos]
             if state.is_empty or state.used_gpcs > self.threshold:
                 continue
             if state.geometry.name != self.geometry.name:
@@ -226,11 +284,15 @@ class SegmentAllocator:
                 ):
                     freed_rate[svc.id] -= small.throughput
                     self._enqueue(queues, small)
-            self._allocation(queues, gpus, self.geometry)
-        self._compact(gpus)
+            if index is not None:
+                index.touch(pos)  # the drained GPU can host segments again
+            self._allocation(queues, gpus, self.geometry, index=index)
+        self._compact(gpus, index=index)
         return gpus
 
-    def _compact(self, gpus: list[_GPUState]) -> None:
+    def _compact(
+        self, gpus: list[_GPUState], index: Optional[SlotIndex] = None
+    ) -> None:
         """Pull small segments from the back into earlier GPUs' holes.
 
         The final step of "reallocating them to empty spaces, starting from
@@ -244,6 +306,15 @@ class SegmentAllocator:
             state = gpus[gi]
             for seg, start in sorted(state.placed, key=lambda p: p[0].instance_size):
                 if seg.instance_size > state.geometry.compact_max_size:
+                    continue
+                if index is not None:
+                    moved = index.place(seg, limit=gi, interleave=True)
+                    if moved is not None:
+                        state.placed.remove((seg, start))
+                        state.layout.remove(
+                            state.geometry.place(seg.instance_size, start)
+                        )
+                        index.touch(gi)
                     continue
                 for earlier in gpus[:gi]:
                     if (
@@ -275,6 +346,7 @@ class SegmentAllocator:
         queues: dict[int, list[Segment]],
         gpus: list[_GPUState],
         geometry: PartitionGeometry = MIG_GEOMETRY,
+        index: Optional[SlotIndex] = None,
     ) -> None:
         """Drain queues largest-size first onto the GPU list.
 
@@ -282,20 +354,29 @@ class SegmentAllocator:
         fallback slots, then a fresh GPU — so (on MIG) a size-2 only
         occupies the upper half (slots 4/5) once no lower-half position
         exists anywhere, and a size-3 never blocks slice 3 by sitting at
-        slot 0.
+        slot 0.  With ``index`` the probe is a candidate lookup instead of
+        a linear scan; the winning GPU and slot are identical.
         """
+        if index is not None:
+            index.sync()  # pick up GPUs appended since index construction
+        next_gpu_id = max((g.gpu_id for g in gpus), default=-1) + 1
         for size in sorted(queues, reverse=True):
             for seg in queues[size]:
-                placed = any(
-                    state.try_place(seg) is not None for state in gpus
-                ) or any(
-                    state.try_place(seg, fallback=True) is not None
-                    for state in gpus
-                )
+                if index is not None:
+                    placed = index.place(seg) is not None
+                else:
+                    placed = any(
+                        state.try_place(seg) is not None for state in gpus
+                    ) or any(
+                        state.try_place(seg, fallback=True) is not None
+                        for state in gpus
+                    )
                 if not placed:
-                    next_id = max((g.gpu_id for g in gpus), default=-1) + 1
-                    state = _GPUState(gpu_id=next_id, geometry=geometry)
+                    state = _GPUState(gpu_id=next_gpu_id, geometry=geometry)
+                    next_gpu_id += 1
                     gpus.append(state)
+                    if index is not None:
+                        index.sync()
                     if state.try_place(seg) is None:  # pragma: no cover
                         raise RuntimeError(
                             f"segment {seg.describe()} unplaceable on empty GPU"

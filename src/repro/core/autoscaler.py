@@ -80,7 +80,20 @@ class Autoscaler:
         horizon_s: Optional[float] = None,
     ) -> ScalingReport:
         """Walk every epoch boundary, re-scheduling where rates changed."""
-        by_id = {s.id: s for s in services}
+        # Work on private copies: a trace run rewrites request rates and
+        # Algorithm-1 plan state epoch after epoch, and callers reasonably
+        # reuse their Service objects for a second experiment afterwards.
+        work = [
+            Service(
+                id=s.id,
+                model=s.model,
+                slo_latency_ms=s.slo_latency_ms,
+                request_rate=s.request_rate,
+                slo_factor=s.slo_factor,
+            )
+            for s in services
+        ]
+        by_id = {s.id: s for s in work}
         trace_by_id = {t.service_id: t for t in traces}
         unknown = set(trace_by_id) - set(by_id)
         if unknown:
@@ -107,7 +120,7 @@ class Autoscaler:
                 for sid, rate in rates.items():
                     by_id[sid].request_rate = max(rate, 1e-6)
                     by_id[sid].reset_plan()
-                placement = self.scheduler.schedule(list(services))
+                placement = self.scheduler.schedule(work)
                 plan = self.manager.deploy(placement)
                 costs = [price_plan(plan)]
                 ops = plan.num_operations
@@ -124,15 +137,18 @@ class Autoscaler:
                     if rates[sid] == previous_rates.get(sid):
                         continue
                     placement, plan = self.manager.update_slo(
-                        list(services),
+                        work,
                         by_id[sid],
                         new_rate=max(rates[sid], 1e-6),
                         use_mps=self.scheduler.use_mps,
                         optimize=self.scheduler.optimize,
+                        fast_path=getattr(self.scheduler, "fast_path", True),
                     )
                     costs.append(price_plan(plan))
                     ops += plan.num_operations
-                    unchanged = len(plan.unchanged)
+                    # Accumulate: with several rates moving in one epoch,
+                    # each re-plan reports its own untouched instances.
+                    unchanged += len(plan.unchanged)
 
             total_cost = ReconfigurationCost(
                 total_work_s=sum(c.total_work_s for c in costs),

@@ -26,11 +26,8 @@ from repro.core.segments import Segment
 from repro.core.service import InfeasibleServiceError, Service
 from repro.gpu.geometry import PartitionGeometry
 from repro.gpu.mig import MIG_GEOMETRY
+from repro.profiler.table import PROFILE_EPS as _EPS
 from repro.profiler.table import ProfileEntry, ProfileTable
-
-#: Relative tolerance when comparing profiled throughputs: profile noise
-#: below this level must not flip a triplet decision.
-_EPS = 1e-12
 
 
 class SegmentConfigurator:
@@ -41,6 +38,13 @@ class SegmentConfigurator:
     without MPS.  ``geometry`` selects the partition geometry the profiles
     were measured on (MIG by default); the algorithm itself is
     geometry-agnostic — it only reads instance sizes out of the profiles.
+
+    ``memoize`` (default) caches triplet decisions on the profile tables,
+    keyed by (model — the table itself, effective SLO, max processes, and
+    geometry — tables are per-geometry): services sharing an operating
+    regime resolve to the same ``opt_tri_array`` without rescanning the
+    table.  ``memoize=False`` is the reference path for the perf harness's
+    naive baseline; decisions are identical either way.
     """
 
     def __init__(
@@ -48,12 +52,14 @@ class SegmentConfigurator:
         profiles: Mapping[str, ProfileTable],
         max_processes: int = 3,
         geometry: PartitionGeometry = MIG_GEOMETRY,
+        memoize: bool = True,
     ) -> None:
         if max_processes < 1:
             raise ValueError("max_processes must be >= 1")
         self.profiles = profiles
         self.max_processes = max_processes
         self.geometry = geometry
+        self.memoize = memoize
 
     # ------------------------------------------------------------------ #
     # stage 1: Optimal Triplet Decision
@@ -68,15 +74,9 @@ class SegmentConfigurator:
         SLO for a size-1 instance, or OOM everywhere).
         """
         table = self._table(service)
-        best: dict[int, ProfileEntry] = {}
-        for entry in table:
-            if entry.num_processes > self.max_processes:
-                continue
-            if entry.latency_ms >= service.effective_slo_ms:
-                continue  # line 6: only profile rows beating the SLO
-            cur = best.get(entry.instance_size)
-            if cur is None or entry.throughput > cur.throughput * (1 + _EPS):
-                best[entry.instance_size] = entry
+        best = table.best_triplets(
+            service.effective_slo_ms, self.max_processes, memoize=self.memoize
+        )
         if not best:
             raise InfeasibleServiceError(
                 f"{service.id}: no (instance, batch, procs) point meets "

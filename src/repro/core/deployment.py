@@ -76,13 +76,15 @@ class DeploymentManager:
         new_rate: Optional[float] = None,
         use_mps: bool = True,
         optimize: bool = True,
+        fast_path: bool = True,
     ) -> tuple[Placement, ReconfigurationPlan]:
         """Re-plan one service without re-profiling or moving the others.
 
         Implements SIII-F: the Segment Configurator reconstructs only the
         changed service's segments; the deployment map keeps every other
         service where it is; relocation + optimization run for the changed
-        service's segments only.
+        service's segments only.  ``fast_path=False`` re-plans on the
+        naive scans (identical placements, reference baseline).
         """
         if self.current is None:
             raise RuntimeError("nothing deployed yet")
@@ -94,23 +96,30 @@ class DeploymentManager:
 
         configurator = SegmentConfigurator(
             self.profiles, max_processes=3 if use_mps else 1,
-            geometry=self.geometry,
+            geometry=self.geometry, memoize=fast_path,
         )
         configurator.configure([changed])
 
         # Rebuild allocator state from the current map (each plan under its
-        # own geometry), minus the changed service's segments.
+        # own geometry), minus the changed service's segments; the slot
+        # index is rebuilt over the surviving states once and shared by
+        # relocation and optimization.
         gpus: list[_GPUState] = states_from_placement(
             self.current, exclude_service=changed.id
         )
 
-        allocator = SegmentAllocator(optimize=optimize, geometry=self.geometry)
+        allocator = SegmentAllocator(
+            optimize=optimize, geometry=self.geometry, indexed=fast_path
+        )
+        index = allocator.make_index(gpus)
         queues = allocator._new_queues(self.geometry.instance_sizes)
         for seg in changed.segments():
             allocator._enqueue(queues, seg)
-        allocator._allocation(queues, gpus, self.geometry)
+        allocator._allocation(queues, gpus, self.geometry, index=index)
         if optimize:
-            gpus = allocator.allocation_optimization(gpus, list(services))
+            gpus = allocator.allocation_optimization(
+                gpus, list(services), index=index
+            )
         placement = allocator._to_placement(gpus)
         placement.framework = self.current.framework
         placement.assign_rates({s.id: s.request_rate for s in services})

@@ -48,10 +48,14 @@ class FailoverController:
         profiles: Mapping[str, ProfileTable],
         manager: DeploymentManager,
         optimize: bool = True,
+        fast_path: bool = True,
     ) -> None:
         self.profiles = profiles
         self.manager = manager
         self.optimize = optimize
+        # fast_path=False recovers on the naive scans — identical
+        # placements, kept as the reference baseline.
+        self.fast_path = fast_path
 
     def fail_gpu(
         self, gpu_id: int, services: Sequence[Service]
@@ -63,6 +67,19 @@ class FailoverController:
         victim = next((g for g in current.gpus if g.gpu_id == gpu_id), None)
         if victim is None or victim.is_empty:
             raise ValueError(f"GPU {gpu_id} hosts no segments")
+
+        # Recovery re-plans *every* hosted service's capacity accounting
+        # (allocation optimization splits survivors' segments too), so a
+        # hosted service missing from ``services`` would surface deep in
+        # Algorithm 2 as a bare KeyError.  Fail up front with names.
+        known = {s.id for s in services}
+        hosted = {seg.service_id for _, seg in current.iter_segments()}
+        missing = sorted(hosted - known)
+        if missing:
+            raise ValueError(
+                "deployment hosts services missing from the `services` "
+                f"argument: {', '.join(missing)}"
+            )
 
         victim_geometry = get_geometry(victim.geometry)
         lost: dict[str, float] = {}
@@ -84,18 +101,22 @@ class FailoverController:
             )
 
         # Rebuild allocator state from every *surviving* GPU, each under
-        # its own geometry.
+        # its own geometry, and index the survivors' free slots once.
         gpus: list[_GPUState] = states_from_placement(current, skip_gpu=gpu_id)
 
         allocator = SegmentAllocator(
-            optimize=self.optimize, geometry=victim_geometry
+            optimize=self.optimize, geometry=victim_geometry,
+            indexed=self.fast_path,
         )
+        index = allocator.make_index(gpus)
         queues = allocator._new_queues(victim_geometry.instance_sizes)
         for seg in lost_segments:
             allocator._enqueue(queues, seg)
-        allocator._allocation(queues, gpus, victim_geometry)
+        allocator._allocation(queues, gpus, victim_geometry, index=index)
         if self.optimize:
-            gpus = allocator.allocation_optimization(gpus, list(services))
+            gpus = allocator.allocation_optimization(
+                gpus, list(services), index=index
+            )
 
         placement = allocator._to_placement(gpus)
         placement.framework = current.framework

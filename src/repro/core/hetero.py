@@ -51,6 +51,7 @@ def make_mixed_scheduler(
     geometry_names: Sequence[str] = ("mig", "mi300x"),
     use_mps: bool = True,
     optimize: bool = True,
+    fast_path: bool = True,
 ) -> "HeterogeneousParvaGPU":
     """The standard mixed-fleet scheduler over Table-IV profiles.
 
@@ -67,6 +68,7 @@ def make_mixed_scheduler(
         ],
         use_mps=use_mps,
         optimize=optimize,
+        fast_path=fast_path,
     )
 
 
@@ -95,6 +97,7 @@ class HeterogeneousParvaGPU:
         pools: Sequence[GeometryPool],
         use_mps: bool = True,
         optimize: bool = True,
+        fast_path: bool = True,
     ) -> None:
         if not pools:
             raise ValueError("need at least one geometry pool")
@@ -104,11 +107,13 @@ class HeterogeneousParvaGPU:
         self.pools = list(pools)
         self.use_mps = use_mps
         self.optimize = optimize
+        self.fast_path = fast_path
         self._configurators = {
             p.name: SegmentConfigurator(
                 p.profiles,
                 max_processes=3 if use_mps else 1,
                 geometry=p.geometry,
+                memoize=fast_path,
             )
             for p in self.pools
         }
@@ -224,7 +229,8 @@ class HeterogeneousParvaGPU:
                 continue
             self._configurators[pool.name].configure(svcs)
             allocator = SegmentAllocator(
-                optimize=self.optimize, geometry=pool.geometry
+                optimize=self.optimize, geometry=pool.geometry,
+                indexed=self.fast_path,
             )
             out[pool.name] = allocator.allocate(svcs)
         return out

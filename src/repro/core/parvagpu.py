@@ -39,16 +39,24 @@ class ParvaGPU:
         optimize: bool = True,
         threshold: int = OPTIMIZATION_GPC_THRESHOLD,
         geometry: Optional[PartitionGeometry] = None,
+        fast_path: bool = True,
     ) -> None:
         self.profiles = profiles
         self.use_mps = use_mps
         self.optimize = optimize
         self.geometry = geometry or MIG_GEOMETRY
+        # ``fast_path`` turns on the indexed allocator and memoized
+        # configurator together; placements are byte-identical either way,
+        # so False exists only as the reference baseline for the perf
+        # harness and identity tests.
+        self.fast_path = fast_path
         self.configurator = SegmentConfigurator(
-            profiles, max_processes=3 if use_mps else 1, geometry=self.geometry
+            profiles, max_processes=3 if use_mps else 1,
+            geometry=self.geometry, memoize=fast_path,
         )
         self.allocator = SegmentAllocator(
-            optimize=optimize, threshold=threshold, geometry=self.geometry
+            optimize=optimize, threshold=threshold, geometry=self.geometry,
+            indexed=fast_path,
         )
 
     @property

@@ -19,7 +19,8 @@ how heterogeneous placements keep A100 and MI300X devices apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Iterator, Literal, Optional
 
 from repro.gpu.geometry import PartitionLayout, get_geometry
@@ -202,6 +203,25 @@ class Placement:
         for g in self.gpus:
             g.validate()
 
+    def fingerprint(self) -> str:
+        """Canonical byte-form of the deployment map.
+
+        Covers every non-empty GPU plan and segment field but excludes
+        timing metadata (``scheduling_delay_ms``) and the framework label,
+        so two schedulers that produce the same map — e.g. the indexed
+        and naive allocator paths — fingerprint identically.
+        """
+        doc = [
+            {
+                "gpu": g.gpu_id,
+                "geometry": g.geometry,
+                "segments": [asdict(s) for s in g.segments],
+            }
+            for g in self.gpus
+            if not g.is_empty
+        ]
+        return json.dumps(doc, sort_keys=True)
+
     # ------------------------------------------------------------------ #
     # traffic assignment
     # ------------------------------------------------------------------ #
@@ -218,13 +238,15 @@ class Placement:
         instead (optimal segments at capacity, the rate-matched last
         segment absorbing the remainder).
         """
+        # One pass over the map groups partitions by service; the old
+        # per-service rescan was O(services x segments) and dominated
+        # fleet-scale scheduling wall-clock.
+        refs_by_service: dict[str, list[tuple[GPUPlan, int]]] = {}
+        for g in self.gpus:
+            for i, s in enumerate(g.segments):
+                refs_by_service.setdefault(s.service_id, []).append((g, i))
         for service_id, rate in rates.items():
-            refs = [
-                (g, i)
-                for g in self.gpus
-                for i, s in enumerate(g.segments)
-                if s.service_id == service_id
-            ]
+            refs = refs_by_service.get(service_id, [])
             if not refs:
                 raise ValueError(f"no partitions for service {service_id!r}")
             if policy == "proportional":

@@ -50,16 +50,18 @@ def schedule_scenario(
     scenario: str,
     profiles: Optional[Mapping[str, ProfileTable]] = None,
     services: Optional[Sequence[Service]] = None,
+    fast_path: bool = True,
 ) -> tuple[Optional[Placement], list[Service]]:
     """Schedule a scenario; ``(None, services)`` when the framework fails.
 
     A fresh service list is built per call because schedulers mutate the
-    Configurator fields on the service objects.
+    Configurator fields on the service objects.  ``fast_path=False``
+    times the paper's naive scans (wall-clock delay experiments).
     """
     if profiles is None:
         profiles = cached_profiles()
     svcs = list(services) if services is not None else scenario_services(scenario)
-    fw = make_framework(framework, profiles)
+    fw = make_framework(framework, profiles, fast_path=fast_path)
     try:
         return fw.schedule(svcs), svcs
     except InfeasibleScheduleError:

@@ -34,6 +34,8 @@ def run(scenario: str = "S1") -> ExperimentResult:
         columns=("framework", "gpus", "slack %", "frag %", "delay ms"),
     )
     for name in ALL_FRAMEWORKS:
+        # The delay column reports the *shipped* scheduler (fast path on);
+        # fig9 is the artifact that times the paper's algorithms cold.
         fw = make_framework(name, profiles)
         services = scenario_services(scenario)
         try:

@@ -36,6 +36,11 @@ def _sweep(
     for k in factors:
         row: list[object] = [k]
         for fw_name in frameworks:
+            # Unlike fig9 (which reproduces the paper's per-algorithm cold
+            # cost on the naive scans), this scaling sweep reports the
+            # *shipped* scheduler — fast path on.  Its claims only get
+            # stronger that way: MIG-serving's joint search blows up with
+            # service count while ParvaGPU's delay shrinks further.
             predictor = Predictor(make_framework(fw_name, profiles))
             try:
                 prediction = predictor.predict(scaled_scenario(k))

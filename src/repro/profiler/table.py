@@ -12,6 +12,11 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
+#: Relative tolerance when comparing profiled throughputs: profile noise
+#: below this level must not flip a triplet decision (shared with the
+#: Segment Configurator's demand-matching comparisons).
+PROFILE_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class ProfileEntry:
@@ -43,6 +48,9 @@ class ProfileTable:
         self.model = model
         self._entries: list[ProfileEntry] = []
         self._by_triplet: dict[tuple[int, int, int], ProfileEntry] = {}
+        self._by_size: dict[int, list[ProfileEntry]] = {}
+        #: (effective SLO ms, max processes) -> TRIPLETDECISION result.
+        self._triplet_cache: dict[tuple[float, int], dict[int, ProfileEntry]] = {}
         for e in entries:
             self.add(e)
 
@@ -55,6 +63,8 @@ class ProfileTable:
             raise ValueError(f"duplicate profile point {entry.triplet}")
         self._entries.append(entry)
         self._by_triplet[entry.triplet] = entry
+        self._by_size.setdefault(entry.instance_size, []).append(entry)
+        self._triplet_cache.clear()  # new points can change any decision
 
     def __iter__(self) -> Iterator[ProfileEntry]:
         return iter(self._entries)
@@ -69,7 +79,50 @@ class ProfileTable:
         return self._by_triplet.get((instance_size, batch_size, num_processes))
 
     def entries_for_size(self, instance_size: int) -> list[ProfileEntry]:
-        return [e for e in self._entries if e.instance_size == instance_size]
+        """Points of one instance size, in insertion order (pre-indexed)."""
+        return list(self._by_size.get(instance_size, ()))
+
+    def clear_caches(self) -> None:
+        """Drop memoized triplet decisions (pure cache; results identical).
+
+        Cache hygiene for long-lived processes: profiles are produced
+        once and reused (SIII-C), so the cache otherwise only grows with
+        the set of distinct (SLO, max-processes) keys ever scheduled.
+        """
+        self._triplet_cache.clear()
+
+    def best_triplets(
+        self, slo_ms: float, max_processes: int, memoize: bool = True
+    ) -> dict[int, ProfileEntry]:
+        """``TRIPLETDECISION``'s per-table core: instance size -> the
+        maximum-throughput point whose latency beats ``slo_ms`` among
+        points of at most ``max_processes`` processes.
+
+        The result is memoized per ``(slo_ms, max_processes)`` — services
+        sharing a model and an effective SLO re-derive identical
+        ``opt_tri_array``s, so fleet-scale re-scheduling (the autoscaler
+        re-running every epoch) hits the cache instead of rescanning the
+        table.  The cache is invalidated when a point is added, and
+        callers get a fresh dict so mutating it never poisons the cache.
+        """
+        key = (slo_ms, max_processes)
+        if memoize:
+            hit = self._triplet_cache.get(key)
+            if hit is not None:
+                return dict(hit)
+        best: dict[int, ProfileEntry] = {}
+        for entry in self._entries:
+            if entry.num_processes > max_processes:
+                continue
+            if entry.latency_ms >= slo_ms:
+                continue
+            cur = best.get(entry.instance_size)
+            if cur is None or entry.throughput > cur.throughput * (1 + PROFILE_EPS):
+                best[entry.instance_size] = entry
+        if memoize:
+            self._triplet_cache[key] = best
+            return dict(best)
+        return best
 
     def filtered(self, predicate: Callable[[ProfileEntry], bool]) -> list[ProfileEntry]:
         return [e for e in self._entries if predicate(e)]

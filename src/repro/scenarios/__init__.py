@@ -17,13 +17,25 @@ from repro.scenarios.table4 import (
     Scenario,
 )
 from repro.scenarios.scaling import scaled_scenario
+from repro.scenarios.fleet import (
+    FLEET_SCENARIO_NAMES,
+    FLEET_TIERS,
+    fleet_scenario,
+    fleet_services,
+    fleet_traces,
+)
 
 __all__ = [
     "SCENARIOS",
     "SCENARIO_NAMES",
     "TABLE4_SCENARIO_NAMES",
+    "FLEET_SCENARIO_NAMES",
+    "FLEET_TIERS",
     "Scenario",
     "get_scenario",
     "scenario_services",
     "scaled_scenario",
+    "fleet_scenario",
+    "fleet_services",
+    "fleet_traces",
 ]

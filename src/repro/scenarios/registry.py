@@ -10,10 +10,15 @@ from __future__ import annotations
 
 from repro.core.service import Service
 from repro.scenarios.extended import EXTENDED_SCENARIOS
+from repro.scenarios.fleet import FLEET_SCENARIOS
 from repro.scenarios.table4 import SCENARIOS as TABLE4_SCENARIOS, Scenario
 
 #: Every registered scenario, Table-IV columns first.
-SCENARIOS: dict[str, Scenario] = {**TABLE4_SCENARIOS, **EXTENDED_SCENARIOS}
+SCENARIOS: dict[str, Scenario] = {
+    **TABLE4_SCENARIOS,
+    **EXTENDED_SCENARIOS,
+    **FLEET_SCENARIOS,
+}
 
 SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)
 
@@ -28,15 +33,26 @@ def get_scenario(name: str) -> Scenario:
 
 
 def scenario_services(scenario: Scenario | str) -> list[Service]:
-    """Fresh :class:`Service` objects for a scenario (scheduler input)."""
+    """Fresh :class:`Service` objects for a scenario (scheduler input).
+
+    Table-IV-style scenarios list each model once, so the model name is
+    the service id.  Fleet scenarios (S9/S10) repeat models; repeats get a
+    ``#<k>`` suffix so service ids stay unique while single-occurrence
+    scenarios keep their historical ids.
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
-    return [
-        Service(
-            id=load.model,
-            model=load.model,
-            slo_latency_ms=load.slo_latency_ms,
-            request_rate=load.request_rate,
+    seen: dict[str, int] = {}
+    services = []
+    for load in scenario.loads:
+        k = seen.get(load.model, 0)
+        seen[load.model] = k + 1
+        services.append(
+            Service(
+                id=load.model if k == 0 else f"{load.model}#{k}",
+                model=load.model,
+                slo_latency_ms=load.slo_latency_ms,
+                request_rate=load.request_rate,
+            )
         )
-        for load in scenario.loads
-    ]
+    return services

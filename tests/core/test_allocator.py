@@ -120,6 +120,19 @@ class TestAllocationOptimization:
             opt = SegmentAllocator(optimize=True).allocate(services2)
             assert opt.num_gpus <= unopt.num_gpus
 
+    def test_hosted_service_missing_from_argument(self, profiles, make_service):
+        """A placed service absent from ``services`` must be a named
+        ValueError, not a bare KeyError mid-optimization (reachable from
+        the SLO-update and failover incremental paths)."""
+        import pytest
+
+        svc = configured(profiles, make_service, sid="present", rate=4000.0)
+        ghost = configured(profiles, make_service, sid="ghost", rate=500.0)
+        allocator = SegmentAllocator(optimize=True)
+        gpus = allocator.segment_relocation([svc, ghost])
+        with pytest.raises(ValueError, match="ghost"):
+            allocator.allocation_optimization(gpus, [svc])
+
     def test_optimization_preserves_capacity(self, profiles, make_service):
         svc = configured(profiles, make_service, rate=4000.0)
         placement = SegmentAllocator(optimize=True).allocate([svc])

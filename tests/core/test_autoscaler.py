@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Service
+from repro.core import DeploymentManager, ParvaGPU, Service
 from repro.core.autoscaler import Autoscaler
 from repro.sim.traces import Epoch, RateTrace, diurnal_trace, surge_trace
 
@@ -64,3 +64,81 @@ class TestAutoscaler:
         bad = [diurnal_trace("ghost", base_rate=100)]
         with pytest.raises(ValueError):
             Autoscaler(profiles).run(services, bad)
+
+    def test_unchanged_accumulates_over_multiple_replans(self, profiles):
+        """Several rates moving in one epoch: unchanged counts must sum.
+
+        The regression: ``unchanged`` was overwritten per re-planned
+        service, so a step reported only the *last* plan's untouched
+        instances.  The expectation is replicated by hand: run the same
+        first-epoch deployment, then the same per-service SLO updates in
+        the autoscaler's (sorted) order, summing each plan's unchanged
+        list — the step must report exactly that sum.
+        """
+        services = [
+            Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+            Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+            Service("c", "densenet-121", slo_latency_ms=200, request_rate=1500),
+        ]
+        traces = [
+            surge_trace("a", base_rate=2000, surge_factor=3.0,
+                        surge_start_s=60.0, surge_end_s=120.0),
+            surge_trace("b", base_rate=4000, surge_factor=2.0,
+                        surge_start_s=60.0, surge_end_s=120.0),
+        ]
+        report = Autoscaler(profiles).run(services, traces)
+        surge_step = next(s for s in report.steps if s.time_s == 60.0)
+
+        work = [
+            Service(s.id, s.model, slo_latency_ms=s.slo_latency_ms,
+                    request_rate=s.request_rate)
+            for s in services
+        ]
+        by_id = {s.id: s for s in work}
+        for svc in work:
+            svc.reset_plan()
+        manager = DeploymentManager(profiles)
+        manager.deploy(ParvaGPU(profiles).schedule(work))
+        expected = 0
+        for sid, new_rate in (("a", 6000.0), ("b", 8000.0)):
+            _, plan = manager.update_slo(work, by_id[sid], new_rate=new_rate)
+            expected += len(plan.unchanged)
+        assert expected > 0
+        assert surge_step.unchanged_instances == expected
+
+    def test_run_does_not_mutate_caller_services(self, profiles, services):
+        """A trace run must leave the caller's Service objects reusable."""
+        traces = [
+            surge_trace("a", base_rate=2000, surge_factor=4.0,
+                        surge_start_s=100.0, surge_end_s=200.0),
+        ]
+        before = [
+            (s.id, s.request_rate, s.slo_latency_ms, s.slo_factor)
+            for s in services
+        ]
+        Autoscaler(profiles).run(services, traces)
+        after = [
+            (s.id, s.request_rate, s.slo_latency_ms, s.slo_factor)
+            for s in services
+        ]
+        assert before == after
+        for svc in services:  # Algorithm-1 plan state untouched too
+            assert svc.opt_tri_array == {}
+            assert svc.opt_seg is None
+            assert svc.num_opt_seg == 0
+            assert svc.last_seg is None
+
+    def test_two_runs_from_same_services_agree(self, profiles, services):
+        """Reusing one service list for two experiments is now safe."""
+        traces = [
+            surge_trace("a", base_rate=2000, surge_factor=4.0,
+                        surge_start_s=100.0, surge_end_s=200.0),
+        ]
+        first = Autoscaler(profiles).run(services, traces)
+        second = Autoscaler(profiles).run(services, traces)
+        assert [s.num_gpus for s in first.steps] == [
+            s.num_gpus for s in second.steps
+        ]
+        assert [s.rates for s in first.steps] == [
+            s.rates for s in second.steps
+        ]

@@ -56,6 +56,17 @@ class TestFailover:
         with pytest.raises(RuntimeError):
             ctrl.fail_gpu(0, [])
 
+    def test_hosted_service_missing_from_argument(self, profiles, deployed):
+        """Regression: a hosted service absent from ``services`` used to
+        surface as a bare KeyError deep inside allocation optimization;
+        it must be a ValueError naming the missing service id."""
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        dropped = services[-1]
+        subset = [s for s in services if s.id != dropped.id]
+        with pytest.raises(ValueError, match=dropped.id):
+            ctrl.fail_gpu(0, subset)
+
     def test_sequential_failures_survivable(self, profiles):
         """Losing two GPUs in a row still yields a valid, covering map."""
         services = scenario_services("S4")

@@ -60,7 +60,7 @@ class TestTableIV:
 
     def test_unknown_scenario(self):
         with pytest.raises(KeyError):
-            get_scenario("S9")
+            get_scenario("S99")
 
 
 class TestServiceBuilding:
@@ -101,3 +101,44 @@ class TestScaling:
     def test_custom_base(self):
         services = scaled_scenario(2, base="S1")
         assert len(services) == 12
+
+
+class TestFleetScenarios:
+    def test_s9_s10_registered(self):
+        assert len(get_scenario("S9").loads) == 1000
+        assert len(get_scenario("S10").loads) == 200
+
+    def test_fleet_is_deterministic(self):
+        from repro.scenarios.fleet import fleet_loads
+
+        assert fleet_loads(250) == fleet_loads(250)
+        assert fleet_loads(250, seed=1) != fleet_loads(250, seed=2)
+
+    def test_fleet_services_have_unique_ids(self):
+        services = scenario_services("S9")
+        assert len({s.id for s in services}) == len(services) == 1000
+
+    def test_fleet_slos_never_tightened(self):
+        """Relaxed-only SLO jitter keeps every cell feasible by design."""
+        from repro.scenarios.fleet import _base_loads, fleet_loads
+
+        floor = {}
+        for load in _base_loads():
+            cur = floor.get(load.model)
+            floor[load.model] = min(cur, load.slo_latency_ms) if cur else load.slo_latency_ms
+        for load in fleet_loads(500):
+            assert load.slo_latency_ms >= floor[load.model]
+            assert load.request_rate > 0
+
+    def test_fleet_traces_cover_every_service(self):
+        from repro.scenarios import fleet_services, fleet_traces
+
+        services = fleet_services(50)
+        traces = fleet_traces(services, epochs=3)
+        assert {t.service_id for t in traces} == {s.id for s in services}
+        assert all(len(t.epochs) == 3 for t in traces)
+
+    def test_single_occurrence_scenarios_keep_model_ids(self):
+        """The id-uniquifier must not rename Table-IV services."""
+        services = scenario_services("S2")
+        assert [s.id for s in services] == [s.model for s in services]
