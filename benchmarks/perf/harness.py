@@ -1,22 +1,36 @@
 #!/usr/bin/env python
-"""Fleet-scale scheduling perf harness (opt-in — not part of tier-1).
+"""Fleet-scale perf harness (opt-in — not part of tier-1).
 
-Schedules deterministic synthetic fleets (see ``repro.scenarios.fleet``)
-of 100/1000/5000 services on the MIG, MI300X, and mixed geometries with
-the fast-path scheduler (indexed allocator + memoized configurator) and,
-up to ``--naive-cap`` services, with the naive reference path.  Every
-fast/naive pair is checked for byte-identical placements; wall-clocks,
-GPU counts, and speedups land in ``BENCH_schedule.json``.  The S10 pass
-drives a phase-shifted diurnal fleet through the autoscaler's SIII-F
-incremental path.
+Two suites, selected with ``--suite``:
+
+- ``schedule`` (default): schedules deterministic synthetic fleets (see
+  ``repro.scenarios.fleet``) of 100/1000/5000 services on the MIG,
+  MI300X, and mixed geometries with the fast-path scheduler (indexed
+  allocator + memoized configurator) and, up to ``--naive-cap``
+  services, with the naive reference path.  Every fast/naive pair is
+  checked for byte-identical placements; wall-clocks, GPU counts, and
+  speedups land in ``BENCH_schedule.json``.  The S10 pass drives a
+  phase-shifted diurnal fleet through the autoscaler's SIII-F
+  incremental path.
+
+- ``simulate``: *serves* high-rate fleets of 100/1000 services on each
+  geometry through the batch-granularity simulation fast path and, up
+  to ``--naive-cap`` services, through the per-request event-driven
+  reference engine — every recorded fast/reference pair must pass the
+  stats-fingerprint identity check (exact integer statistics + float
+  sums within 1e-9).  The S10 pass measures per-epoch SLO compliance
+  through the autoscaler's trace run; the S11 pass replays the
+  million-request fleet, which only the fast path can execute in
+  reasonable time.  Results land in ``BENCH_simulate.json``.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf/harness.py
+    PYTHONPATH=src python benchmarks/perf/harness.py --suite simulate
     PYTHONPATH=src python benchmarks/perf/harness.py \
         --tiers 100 --baseline benchmarks/perf/baseline.json
 
-With ``--baseline``, indexed wall-clocks are compared against the
+With ``--baseline``, fast-path wall-clocks are compared against the
 committed reference; the exit code is non-zero when any matched tier
 regresses by more than ``--max-regress`` (the CI perf-smoke gate).
 File names here deliberately avoid the ``test_`` prefix so pytest never
@@ -45,16 +59,31 @@ from repro.scenarios.fleet import (  # noqa: E402
     FLEET_TIERS,
     S10_EPOCHS,
     S10_FLEET_SIZE,
+    S11_DURATION_S,
+    S11_FLEET_SIZE,
+    S11_RATE_SCALE,
     fleet_services,
     fleet_traces,
 )
+from repro.sim import simulate_placement  # noqa: E402
 
-# Default to a gitignored sidecar (the repo's wall-clock convention, cf.
+# Defaults are gitignored sidecars (the repo's wall-clock convention, cf.
 # benchmarks/out/*.local.txt): casual runs must never clobber the
-# committed BENCH_schedule.json reproduction evidence.  Pass --out
-# benchmarks/perf/BENCH_schedule.json to regenerate it deliberately.
-DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_schedule.local.json"
+# committed BENCH_*.json reproduction evidence.  Pass e.g. --out
+# benchmarks/perf/BENCH_schedule.json to regenerate one deliberately.
+DEFAULT_OUTS = {
+    "schedule": pathlib.Path(__file__).parent / "BENCH_schedule.local.json",
+    "simulate": pathlib.Path(__file__).parent / "BENCH_simulate.local.json",
+}
 GEOMETRIES = ("mig", "mi300x", "mixed")
+
+#: The simulate suite's sweep: service tiers (the event-driven reference
+#: at 5000 services would take minutes per geometry), rate scale (the
+#: high-rate regime S11 formalizes), and the simulated window.
+SIM_TIERS = (100, 1000)
+SIM_RATE_SCALE = S11_RATE_SCALE
+SIM_DURATION_S = 1.0
+SIM_WARMUP_S = 0.25
 
 
 def _make_scheduler(geometry: str, fast_path: bool):
@@ -121,13 +150,18 @@ def run_fleet_sweep(tiers, geometries, naive_cap):
     return rows
 
 
-def run_autoscaler_trace(num_services, epochs):
-    """The S10 pass: a diurnal fleet through the SIII-F incremental path."""
+def run_autoscaler_trace(num_services, epochs, measure_s=0.0):
+    """The S10 pass: a diurnal fleet through the SIII-F incremental path.
+
+    With ``measure_s > 0`` every epoch's deployment is additionally
+    served for that long in the simulation fast path and the mean
+    measured SLO compliance is recorded.
+    """
     services = fleet_services(num_services)
     traces = fleet_traces(services, epochs=epochs)
     scaler = Autoscaler(profile_workloads())
     t0 = time.perf_counter()
-    report = scaler.run(services, traces)
+    report = scaler.run(services, traces, measure_s=measure_s)
     wall = time.perf_counter() - t0
     row = {
         "scenario": "S10",
@@ -138,28 +172,155 @@ def run_autoscaler_trace(num_services, epochs):
         "peak_gpus": report.peak_gpus,
         "mean_gpus": round(report.mean_gpus, 2),
         "reconfig_ops": report.total_reconfig_ops,
+        "measure_s": measure_s,
+        "mean_compliance": (
+            None
+            if report.mean_compliance is None
+            else round(report.mean_compliance, 6)
+        ),
     }
+    compliance = (
+        f", compliance {100 * report.mean_compliance:.2f}%"
+        if report.mean_compliance is not None
+        else ""
+    )
     print(
         f"  S10 {num_services} services x {epochs} epochs: "
         f"{wall:.2f} s, {len(report.steps)} steps, "
-        f"peak {report.peak_gpus} GPUs"
+        f"peak {report.peak_gpus} GPUs{compliance}"
     )
     return row
 
 
-def check_baseline(rows, baseline_path, max_regress):
-    """Compare indexed wall-clocks to the committed baseline (>Nx fails)."""
+def _timed_simulate(placement, services, fast_path, seed=0):
+    t0 = time.perf_counter()
+    report = simulate_placement(
+        placement,
+        services,
+        duration_s=SIM_DURATION_S,
+        warmup_s=SIM_WARMUP_S,
+        seed=seed,
+        fast_path=fast_path,
+    )
+    return report, time.perf_counter() - t0
+
+
+def run_simulate_sweep(tiers, geometries, naive_cap):
+    """The simulate tiers: serve each high-rate fleet, fast vs reference.
+
+    Every recorded fast/reference pair must pass the stats-fingerprint
+    identity check: exact integer statistics (batches, violations,
+    requests, completions, worst latencies) plus order-sensitive float
+    sums within 1e-9 relative.
+    """
+    rows = []
+    for tier in tiers:
+        for geometry in geometries:
+            services = fleet_services(tier, rate_scale=SIM_RATE_SCALE)
+            placement = _make_scheduler(geometry, fast_path=True).schedule(
+                services
+            )
+            offered = sum(
+                seg.served_rate for _, seg in placement.iter_segments()
+            )
+            fast, fast_wall = _timed_simulate(placement, services, True)
+            row = {
+                "scenario": "SIM",
+                "tier": tier,
+                "geometry": geometry,
+                "rate_scale": SIM_RATE_SCALE,
+                "duration_s": SIM_DURATION_S,
+                "offered_rate": round(offered, 1),
+                "requests_measured": sum(
+                    st.requests for st in fast.services.values()
+                ),
+                "compliance": round(fast.overall_compliance, 6),
+                "fast_wall_s": round(fast_wall, 6),
+                "reference_wall_s": None,
+                "speedup": None,
+                "identical": None,
+            }
+            if tier <= naive_cap:
+                ref, ref_wall = _timed_simulate(placement, services, False)
+                row["reference_wall_s"] = round(ref_wall, 6)
+                row["speedup"] = round(ref_wall / fast_wall, 2)
+                row["identical"] = (
+                    fast.fingerprint() == ref.fingerprint()
+                    and fast.close_to(ref)
+                )
+                if not row["identical"]:
+                    raise SystemExit(
+                        f"FATAL: fast-path and event-driven reports differ "
+                        f"for {tier} services on {geometry}"
+                    )
+            rows.append(row)
+            speedup = (
+                f"{row['speedup']}x vs reference"
+                if row["speedup"]
+                else "reference skipped"
+            )
+            print(
+                f"  SIM {geometry:>6} n={tier:<5} "
+                f"{row['fast_wall_s']*1e3:8.1f} ms  "
+                f"{row['requests_measured']:>9} reqs  ({speedup})"
+            )
+    return rows
+
+
+def run_million_request_replay():
+    """The S11 pass: the million-request fleet, fast path only."""
+    services = fleet_services(S11_FLEET_SIZE, rate_scale=S11_RATE_SCALE)
+    placement = ParvaGPU(profile_workloads(), fast_path=True).schedule(
+        services
+    )
+    t0 = time.perf_counter()
+    report = simulate_placement(
+        placement,
+        services,
+        duration_s=S11_DURATION_S,
+        warmup_s=SIM_WARMUP_S,
+        fast_path=True,
+    )
+    wall = time.perf_counter() - t0
+    offered = sum(seg.served_rate for _, seg in placement.iter_segments())
+    row = {
+        "scenario": "S11",
+        "services": S11_FLEET_SIZE,
+        "rate_scale": S11_RATE_SCALE,
+        "duration_s": S11_DURATION_S,
+        "offered_requests": round(offered * S11_DURATION_S),
+        "requests_measured": sum(
+            st.requests for st in report.services.values()
+        ),
+        "compliance": round(report.overall_compliance, 6),
+        "wall_s": round(wall, 6),
+    }
+    print(
+        f"  S11 {S11_FLEET_SIZE} services: ~{row['offered_requests']} "
+        f"requests offered, {row['requests_measured']} measured in "
+        f"{wall:.2f} s (compliance {100 * report.overall_compliance:.2f}%)"
+    )
+    return row
+
+
+def check_baseline(rows, baseline_path, max_regress, section, field):
+    """Compare fast-path wall-clocks to the committed baseline (>Nx fails).
+
+    ``section``/``field`` select the baseline list and the wall-clock
+    key: ``("fleets", "indexed_wall_s")`` for the schedule suite,
+    ``("simulate", "fast_wall_s")`` for the simulate suite.
+    """
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     reference = {
-        (r["tier"], r["geometry"]): r["indexed_wall_s"]
-        for r in baseline.get("fleets", [])
+        (r["tier"], r["geometry"]): r[field]
+        for r in baseline.get(section, [])
     }
     regressions = []
     for row in rows:
         ref = reference.get((row["tier"], row["geometry"]))
         if ref is None:
             continue
-        ratio = row["indexed_wall_s"] / ref
+        ratio = row[field] / ref
         marker = "REGRESSION" if ratio > max_regress else "ok"
         print(
             f"  baseline {row['geometry']:>6} n={row['tier']:<5} "
@@ -173,9 +334,19 @@ def check_baseline(rows, baseline_path, max_regress):
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        choices=("schedule", "simulate"),
+        default="schedule",
+        help="schedule: time the scheduler's fleet sweep (S9/S10); "
+        "simulate: serve high-rate fleets through the simulation fast "
+        "path (SIM tiers, S10 measured, S11) (default: %(default)s)",
+    )
+    parser.add_argument(
         "--tiers",
-        default=",".join(str(t) for t in FLEET_TIERS),
-        help="comma-separated fleet sizes (default: %(default)s)",
+        default=None,
+        help="comma-separated fleet sizes (default: "
+        f"{','.join(str(t) for t in FLEET_TIERS)} for schedule, "
+        f"{','.join(str(t) for t in SIM_TIERS)} for simulate)",
     )
     parser.add_argument(
         "--geometries",
@@ -186,12 +357,13 @@ def main(argv=None):
         "--naive-cap",
         type=int,
         default=1000,
-        help="largest tier also timed on the O(n^2) naive path "
-        "(default: %(default)s)",
+        help="largest tier also run on the naive/event-driven reference "
+        "path (default: %(default)s)",
     )
     parser.add_argument(
-        "--out", type=pathlib.Path, default=DEFAULT_OUT,
-        help="result JSON path (default: %(default)s)",
+        "--out", type=pathlib.Path, default=None,
+        help="result JSON path (default: a gitignored "
+        "BENCH_<suite>.local.json sidecar)",
     )
     parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
@@ -199,11 +371,16 @@ def main(argv=None):
     )
     parser.add_argument(
         "--max-regress", type=float, default=2.0,
-        help="fail when indexed wall-clock exceeds baseline by this factor",
+        help="fail when a fast-path wall-clock exceeds baseline by this "
+        "factor",
     )
     parser.add_argument(
         "--skip-autoscaler", action="store_true",
         help="skip the S10 autoscaler trace pass",
+    )
+    parser.add_argument(
+        "--skip-s11", action="store_true",
+        help="skip the S11 million-request replay (simulate suite)",
     )
     parser.add_argument(
         "--autoscaler-services", type=int, default=S10_FLEET_SIZE,
@@ -211,34 +388,69 @@ def main(argv=None):
     parser.add_argument(
         "--autoscaler-epochs", type=int, default=S10_EPOCHS,
     )
+    parser.add_argument(
+        "--autoscaler-measure", type=float, default=0.5,
+        help="seconds of serving simulated per autoscaler epoch in the "
+        "simulate suite (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    tiers = [int(t) for t in args.tiers.split(",") if t]
+    default_tiers = FLEET_TIERS if args.suite == "schedule" else SIM_TIERS
+    tiers = (
+        [int(t) for t in args.tiers.split(",") if t]
+        if args.tiers
+        else list(default_tiers)
+    )
     geometries = [g.strip() for g in args.geometries.split(",") if g.strip()]
-
-    print(f"fleet sweep: tiers={tiers} geometries={geometries}")
-    fleets = run_fleet_sweep(tiers, geometries, args.naive_cap)
-    autoscaler = None
-    if not args.skip_autoscaler:
-        autoscaler = run_autoscaler_trace(
-            args.autoscaler_services, args.autoscaler_epochs
-        )
+    out = args.out if args.out is not None else DEFAULT_OUTS[args.suite]
 
     doc = {
-        "version": 1,
+        "version": 2,
+        "suite": args.suite,
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
-        "fleets": fleets,
-        "autoscaler": autoscaler,
     }
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    if args.suite == "schedule":
+        print(f"fleet sweep: tiers={tiers} geometries={geometries}")
+        rows = run_fleet_sweep(tiers, geometries, args.naive_cap)
+        doc["fleets"] = rows
+        doc["autoscaler"] = (
+            None
+            if args.skip_autoscaler
+            else run_autoscaler_trace(
+                args.autoscaler_services, args.autoscaler_epochs
+            )
+        )
+        section, field = "fleets", "indexed_wall_s"
+    else:
+        print(
+            f"simulate sweep: tiers={tiers} geometries={geometries} "
+            f"rate_scale={SIM_RATE_SCALE} duration={SIM_DURATION_S}s"
+        )
+        rows = run_simulate_sweep(tiers, geometries, args.naive_cap)
+        doc["simulate"] = rows
+        doc["autoscaler"] = (
+            None
+            if args.skip_autoscaler
+            else run_autoscaler_trace(
+                args.autoscaler_services,
+                args.autoscaler_epochs,
+                measure_s=args.autoscaler_measure,
+            )
+        )
+        doc["s11"] = None if args.skip_s11 else run_million_request_replay()
+        section, field = "simulate", "fast_wall_s"
+
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {out}")
 
     if args.baseline is not None:
-        regressions = check_baseline(fleets, args.baseline, args.max_regress)
+        regressions = check_baseline(
+            rows, args.baseline, args.max_regress, section, field
+        )
         if regressions:
             print(f"FAIL: {len(regressions)} tier(s) regressed "
                   f">{args.max_regress}x against {args.baseline}")

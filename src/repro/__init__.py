@@ -65,7 +65,7 @@ from repro.gpu import (
 from repro.metrics import external_fragmentation, internal_slack
 from repro.profiler import ProfileTable, Profiler, profile_workloads
 from repro.scenarios import get_scenario, scaled_scenario, scenario_services
-from repro.sim import simulate_placement
+from repro.sim import simulate_placement, simulate_placement_fast
 
 __version__ = "1.0.0"
 
@@ -103,5 +103,6 @@ __all__ = [
     "scaled_scenario",
     "scenario_services",
     "simulate_placement",
+    "simulate_placement_fast",
     "__version__",
 ]

@@ -168,11 +168,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         arrivals=args.arrivals,
+        fast_path=args.engine == "fast",
     )
+    unit = "steps" if args.engine == "fast" else "events"
     print(
         f"{placement.framework} on {args.scenario}: "
         f"SLO compliance {100 * report.overall_compliance:.2f}% "
-        f"({report.events_processed} events)"
+        f"({report.events_processed} {unit})"
     )
     for sid, compliance, mean_lat, rate in report.summary_rows():
         print(f"  {sid:<16} {compliance:6.2f}%  {mean_lat:8.1f} ms  {rate:8.0f} req/s")
@@ -220,6 +222,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--arrivals", choices=("uniform", "poisson"), default="uniform")
+    p.add_argument(
+        "--engine",
+        choices=("fast", "event"),
+        default="fast",
+        help="simulation engine: the batch-granularity fast path (default) "
+        "or the per-request discrete-event reference",
+    )
     _add_geometry_flag(p)
     p.set_defaults(func=_cmd_simulate)
     return parser

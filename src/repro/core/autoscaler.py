@@ -33,6 +33,9 @@ class ScalingStep:
     unchanged_instances: int
     cost: ReconfigurationCost
     zero_downtime: bool
+    #: measured SLO compliance of the epoch's deployment (None when the
+    #: run was not asked to simulate serving quality)
+    compliance: Optional[float] = None
 
 
 @dataclass
@@ -54,6 +57,14 @@ class ScalingReport:
     @property
     def total_reconfig_ops(self) -> int:
         return sum(s.reconfig_ops for s in self.steps)
+
+    @property
+    def mean_compliance(self) -> Optional[float]:
+        """Mean measured SLO compliance across simulated steps (or None)."""
+        vals = [s.compliance for s in self.steps if s.compliance is not None]
+        if not vals:
+            return None
+        return sum(vals) / len(vals)
 
     def gpu_series(self) -> list[tuple[float, int]]:
         return [(s.time_s, s.num_gpus) for s in self.steps]
@@ -78,8 +89,20 @@ class Autoscaler:
         services: Sequence[Service],
         traces: Sequence[RateTrace],
         horizon_s: Optional[float] = None,
+        measure_s: float = 0.0,
+        sim_fast_path: bool = True,
+        sim_seed: int = 0,
     ) -> ScalingReport:
-        """Walk every epoch boundary, re-scheduling where rates changed."""
+        """Walk every epoch boundary, re-scheduling where rates changed.
+
+        With ``measure_s > 0`` every step's deployment is additionally
+        *served*: the simulator replays ``measure_s`` seconds of the
+        epoch's traffic against the placement and records the measured
+        SLO compliance on the step.  ``sim_fast_path`` selects the
+        batch-granularity simulation kernel (default) or the per-request
+        event-driven reference — without the fast path, measuring a
+        fleet-scale trace run is impractical.
+        """
         # Work on private copies: a trace run rewrites request rates and
         # Algorithm-1 plan state epoch after epoch, and callers reasonably
         # reuse their Service objects for a second experiment afterwards.
@@ -158,6 +181,19 @@ class Autoscaler:
                 },
                 shadow_gpus=max((c.shadow_gpus for c in costs), default=0),
             )
+            compliance = None
+            if measure_s > 0:
+                from repro.sim.runner import simulate_placement
+
+                sim = simulate_placement(
+                    placement,
+                    work,
+                    duration_s=measure_s,
+                    warmup_s=0.0,
+                    seed=sim_seed,
+                    fast_path=sim_fast_path,
+                )
+                compliance = sim.overall_compliance
             report.steps.append(
                 ScalingStep(
                     time_s=t,
@@ -167,6 +203,7 @@ class Autoscaler:
                     unchanged_instances=unchanged,
                     cost=total_cost,
                     zero_downtime=self.shadows.admit(t, total_cost),
+                    compliance=compliance,
                 )
             )
             previous_rates = rates

@@ -14,6 +14,7 @@ from repro.experiments.common import cached_profiles
 from repro.experiments.registry import ExperimentResult
 from repro.metrics import external_fragmentation, internal_slack
 from repro.scenarios import scenario_services
+from repro.sim import simulate_placement
 
 ALL_FRAMEWORKS: tuple[str, ...] = (
     "gslice",
@@ -26,12 +27,16 @@ ALL_FRAMEWORKS: tuple[str, ...] = (
 )
 
 
-def run(scenario: str = "S1") -> ExperimentResult:
+def run(
+    scenario: str = "S1",
+    duration_s: float = 1.5,
+    fast_path: bool = True,
+) -> ExperimentResult:
     profiles = cached_profiles()
     result = ExperimentResult(
         experiment_id="table1x",
         title=f"All seven Table-I frameworks measured on {scenario}",
-        columns=("framework", "gpus", "slack %", "frag %", "delay ms"),
+        columns=("framework", "gpus", "slack %", "frag %", "delay ms", "slo %"),
     )
     for name in ALL_FRAMEWORKS:
         # The delay column reports the *shipped* scheduler (fast path on);
@@ -41,14 +46,18 @@ def run(scenario: str = "S1") -> ExperimentResult:
         try:
             placement = fw.schedule(services)
         except InfeasibleScheduleError:
-            result.add(name, None, None, None, None)
+            result.add(name, None, None, None, None, None)
             continue
+        report = simulate_placement(
+            placement, services, duration_s=duration_s, fast_path=fast_path
+        )
         result.add(
             name,
             placement.num_gpus,
             100.0 * internal_slack(placement),
             100.0 * external_fragmentation(placement),
             placement.scheduling_delay_ms,
+            100.0 * report.overall_compliance,
         )
     result.notes.append(
         "GSLICE serves S1 on one GPU but cannot scale past it; PARIS+ELSA "

@@ -23,6 +23,7 @@ def run(
     simulate: bool = False,
     duration_s: float = 2.0,
     seed: int = 0,
+    fast_path: bool = True,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig6",
@@ -39,7 +40,11 @@ def run(
                 continue
             if simulate:
                 report = simulate_placement(
-                    placement, services, duration_s=duration_s, seed=seed
+                    placement,
+                    services,
+                    duration_s=duration_s,
+                    seed=seed,
+                    fast_path=fast_path,
                 )
                 slack = internal_slack(placement, report.segment_activity)
             else:

@@ -53,7 +53,9 @@ def _allocated_gpc_equiv(placement: Placement) -> float:
 
 
 def run(
-    scenarios: tuple[str, ...] = GEO_SCENARIOS, duration_s: float = 1.5
+    scenarios: tuple[str, ...] = GEO_SCENARIOS,
+    duration_s: float = 1.5,
+    fast_path: bool = True,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="geo",
@@ -77,7 +79,9 @@ def run(
             if placement is None:
                 result.add(scenario, fleet, None, None, None)
                 continue
-            report = simulate_placement(placement, services, duration_s=duration_s)
+            report = simulate_placement(
+                placement, services, duration_s=duration_s, fast_path=fast_path
+            )
             result.add(
                 scenario,
                 fleet,

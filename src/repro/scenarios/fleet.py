@@ -1,4 +1,5 @@
-"""Synthetic fleet-scale scenarios: S9 (fleet sweep) and S10 (diurnal).
+"""Synthetic fleet-scale scenarios: S9 (fleet sweep), S10 (diurnal
+autoscaling) and S11 (million-request high-rate replay).
 
 Table IV tops out at eleven services — the paper's single-cluster scale.
 The ROADMAP's fleet scale is thousands of tenants, so these scenarios
@@ -14,6 +15,9 @@ exact same fleet.
 sweeps :data:`FLEET_TIERS` (100/1000/5000) around it.  ``S10`` pairs a
 fleet with per-service diurnal rate traces (phase-shifted so the fleet's
 load moves as a wave, not in lockstep) and drives the autoscaler.
+``S11`` is the S9 fleet at :data:`S11_RATE_SCALE` x request rates — a
+serving replay whose traffic exceeds a million requests, the workload
+the batch-granularity simulation fast path exists for.
 """
 
 from __future__ import annotations
@@ -42,6 +46,15 @@ S9_FLEET_SIZE = 1000
 S10_FLEET_SIZE = 200
 S10_EPOCHS = 4
 
+#: S11, the million-request replay: the S9 fleet with every request rate
+#: scaled up, simulated for ``S11_DURATION_S`` seconds of traffic — a
+#: few million requests, which only the batch-granularity simulation
+#: fast path serves in reasonable time (the per-request event engine
+#: heap-pushes one Python event per arrival).
+S11_FLEET_SIZE = 1000
+S11_RATE_SCALE = 1.5
+S11_DURATION_S = 2.0
+
 
 def _base_loads() -> list[WorkloadLoad]:
     """Every Table-IV cell, in table order — the resampling population."""
@@ -53,9 +66,15 @@ def _base_loads() -> list[WorkloadLoad]:
 
 
 def fleet_loads(
-    num_services: int, seed: int = FLEET_SEED
+    num_services: int, seed: int = FLEET_SEED, rate_scale: float = 1.0
 ) -> tuple[WorkloadLoad, ...]:
-    """``num_services`` deterministic synthetic load cells."""
+    """``num_services`` deterministic synthetic load cells.
+
+    ``rate_scale`` multiplies every sampled request rate (after the
+    per-service jitter, so the rng stream — and hence the fleet's
+    composition — is identical across scales); S11 uses it to turn the
+    S9 fleet into a high-rate replay.
+    """
     if num_services < 1:
         raise ValueError("fleet needs at least one service")
     rng = random.Random(f"{seed}:{num_services}")
@@ -68,7 +87,9 @@ def fleet_loads(
                 model=cell.model,
                 # Rates span small tenants to hot services; any positive
                 # rate is feasible (Demand Matching just adds segments).
-                request_rate=round(cell.request_rate * rng.uniform(0.2, 2.0), 1),
+                request_rate=round(
+                    cell.request_rate * rng.uniform(0.2, 2.0) * rate_scale, 1
+                ),
                 # Only ever relax the SLO: a larger latency budget keeps
                 # every profiled operating point of the base cell legal.
                 slo_latency_ms=round(cell.slo_latency_ms * rng.uniform(1.0, 1.5)),
@@ -78,7 +99,10 @@ def fleet_loads(
 
 
 def fleet_scenario(
-    num_services: int, seed: int = FLEET_SEED, name: Optional[str] = None
+    num_services: int,
+    seed: int = FLEET_SEED,
+    name: Optional[str] = None,
+    rate_scale: float = 1.0,
 ) -> Scenario:
     """A synthetic fleet as a registry-compatible :class:`Scenario`."""
     return Scenario(
@@ -87,17 +111,19 @@ def fleet_scenario(
             f"Synthetic {num_services}-service fleet resampled from "
             f"Table IV (seed {seed})"
         ),
-        loads=fleet_loads(num_services, seed),
+        loads=fleet_loads(num_services, seed, rate_scale=rate_scale),
     )
 
 
 def fleet_services(
-    num_services: int, seed: int = FLEET_SEED
+    num_services: int, seed: int = FLEET_SEED, rate_scale: float = 1.0
 ) -> list[Service]:
     """Scheduler-ready services with unique ids (``<model>#<k>``)."""
     from repro.scenarios.registry import scenario_services
 
-    return scenario_services(fleet_scenario(num_services, seed))
+    return scenario_services(
+        fleet_scenario(num_services, seed, rate_scale=rate_scale)
+    )
 
 
 def fleet_traces(
@@ -146,6 +172,15 @@ FLEET_SCENARIOS: dict[str, Scenario] = {
             f"(pair with fleet_traces())"
         ),
         loads=fleet_loads(S10_FLEET_SIZE),
+    ),
+    "S11": Scenario(
+        name="S11",
+        description=(
+            f"Million-request replay: the S9 fleet at {S11_RATE_SCALE}x "
+            f"request rates — ~{S11_DURATION_S:g} s of traffic exceeds "
+            f"10^6 requests, tractable only under the simulation fast path"
+        ),
+        loads=fleet_loads(S11_FLEET_SIZE, rate_scale=S11_RATE_SCALE),
     ),
 }
 

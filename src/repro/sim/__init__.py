@@ -12,6 +12,9 @@ DCGM-style SM-activity telemetry.
 - :mod:`repro.sim.server`   -- segment servers (one per placed partition).
 - :mod:`repro.sim.metrics`  -- latency records, SLO compliance, activity.
 - :mod:`repro.sim.runner`   -- one-call simulation of a placement.
+- :mod:`repro.sim.fastpath` -- batch-granularity fast path (default
+  engine of :func:`simulate_placement`; the event-driven loop stays as
+  the per-request reference).
 """
 
 from repro.sim.engine import EventQueue
@@ -20,6 +23,7 @@ from repro.sim.batching import BatchPolicy
 from repro.sim.server import SegmentServer
 from repro.sim.metrics import BatchRecord, SimulationReport
 from repro.sim.runner import simulate_placement
+from repro.sim.fastpath import simulate_placement_fast
 
 __all__ = [
     "EventQueue",
@@ -29,4 +33,5 @@ __all__ = [
     "BatchRecord",
     "SimulationReport",
     "simulate_placement",
+    "simulate_placement_fast",
 ]

@@ -9,6 +9,8 @@ free of a global routing bottleneck.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 
@@ -35,8 +37,15 @@ def poisson_arrivals(
 
 
 def uniform_arrivals(rate: float, duration: float) -> np.ndarray:
-    """Deterministic evenly-spaced arrivals (closed-loop load generator)."""
+    """Deterministic evenly-spaced arrivals (closed-loop load generator).
+
+    The request count is ``rate * duration`` rounded half-up: truncating
+    (the previous behaviour) silently under-generated load — a fractional
+    expectation of 0.99 produced an effective rate up to a full request/s
+    low, and a segment with ``0 < rate * duration < 1`` received zero
+    traffic even though it was provisioned for some.
+    """
     if rate <= 0 or duration <= 0:
         return np.empty(0, dtype=np.float64)
-    n = int(rate * duration)
+    n = int(math.floor(rate * duration + 0.5))
     return (np.arange(n, dtype=np.float64) + 0.5) / rate

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -77,6 +79,60 @@ class SimulationReport:
         if window <= 0:
             return 0.0
         return self.completed.get(service_id, 0) / window
+
+    def fingerprint(self) -> str:
+        """Canonical byte-form of the run's *exact* statistics.
+
+        Covers every field that is bit-identical between the event-driven
+        engine and the batch-granularity fast path: integer counts
+        (batches, violations, requests, completions) and the per-service
+        worst latency (a max over per-batch values both engines compute
+        with the same float expressions).  Order-sensitive float
+        accumulations — latency sums, busy SM-time — are deliberately
+        excluded (the engines sum in different orders, so the last ulps
+        can differ); :meth:`close_to` checks those.  A full identity
+        check is ``a.fingerprint() == b.fingerprint() and a.close_to(b)``.
+        """
+        doc = {
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "services": {
+                sid: [
+                    st.batches,
+                    st.violations,
+                    st.requests,
+                    self.completed.get(sid, 0),
+                    format(st.latency_max_ms, ".17g"),
+                ]
+                for sid, st in sorted(self.services.items())
+            },
+            "segments": sorted(self.segment_activity),
+        }
+        return json.dumps(doc, sort_keys=True)
+
+    def close_to(self, other: "SimulationReport", rtol: float = 1e-9) -> bool:
+        """Whether order-sensitive float statistics agree within ``rtol``.
+
+        Complements :meth:`fingerprint`: per-service latency sums and
+        per-segment activity are accumulated in different orders by the
+        two simulation engines, so they match to ~1e-12 relative rather
+        than bitwise.
+        """
+
+        def ok(a: float, b: float) -> bool:
+            return math.isclose(a, b, rel_tol=rtol, abs_tol=1e-12)
+
+        if set(self.services) != set(other.services):
+            return False
+        if set(self.segment_activity) != set(other.segment_activity):
+            return False
+        return all(
+            ok(st.latency_sum_ms, other.services[sid].latency_sum_ms)
+            for sid, st in self.services.items()
+        ) and all(
+            ok(act, other.segment_activity[key])
+            for key, act in self.segment_activity.items()
+        )
 
     def summary_rows(self) -> list[tuple[str, float, float, float]]:
         """(service, compliance %, mean latency ms, achieved rate) rows."""

@@ -27,6 +27,7 @@ def simulate_placement(
     warmup_s: float = 0.5,
     seed: int = 0,
     arrivals: str = "uniform",
+    fast_path: bool = True,
 ) -> SimulationReport:
     """Drive ``placement`` with request traffic and measure serving quality.
 
@@ -37,7 +38,25 @@ def simulate_placement(
 
     ``duration_s`` covers warmup + measurement; statistics (SLO compliance,
     activity, goodput) only count batches dispatched after ``warmup_s``.
+
+    ``fast_path`` (default on) runs the batch-granularity kernel of
+    :mod:`repro.sim.fastpath` — identical serving decisions derived by
+    index arithmetic over each segment's arrival array, ~``batch_size``×
+    fewer iteration steps.  ``fast_path=False`` keeps the per-request
+    discrete-event engine as the naive reference (the perf harness checks
+    the two against each other on every recorded run).
     """
+    if fast_path:
+        from repro.sim.fastpath import simulate_placement_fast
+
+        return simulate_placement_fast(
+            placement,
+            services,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            arrivals=arrivals,
+        )
     if duration_s <= warmup_s:
         raise ValueError("duration must exceed warmup")
     svc_by_id = {s.id: s for s in services}

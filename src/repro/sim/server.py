@@ -27,9 +27,15 @@ from repro.sim.metrics import BatchRecord
 
 @dataclass
 class _InFlight:
-    """One batch being executed."""
+    """One batch being executed.
 
-    arrivals: list[float]
+    Arrivals are FIFO-monotone, so only the oldest request's arrival time
+    (the batch's worst end-to-end latency) and the count need to ride
+    along — not the full per-request list.
+    """
+
+    first_arrival: float
+    count: int
     dispatch_time: float
 
 
@@ -94,8 +100,8 @@ class SegmentServer:
 
     def _on_completion(self, now: float, batch: _InFlight) -> None:
         self.free_procs += 1
-        latencies = [(now - a) * 1e3 for a in batch.arrivals]
-        worst = max(latencies)
+        # FIFO arrivals: the oldest request's latency is the batch's worst.
+        worst = (now - batch.first_arrival) * 1e3
         if batch.dispatch_time >= self.warmup_s:
             self.batches_executed += 1
             self.on_batch(
@@ -104,7 +110,7 @@ class SegmentServer:
                     service_id=self.segment.service_id,
                     dispatch_time=batch.dispatch_time,
                     completion_time=now,
-                    batch_size=len(batch.arrivals),
+                    batch_size=batch.count,
                     max_request_latency_ms=worst,
                     violated=worst > self.slo_ms,
                 )
@@ -124,7 +130,9 @@ class SegmentServer:
             ):
                 return
             b = min(self.segment.batch_size, len(self.queue))
-            arrivals = [self.queue.popleft() for _ in range(b)]
+            first_arrival = self.queue[0]
+            for _ in range(b):
+                self.queue.popleft()
             concurrency = (
                 self.segment.num_processes - self.free_procs + 1
             )  # executors busy after this dispatch
@@ -140,7 +148,9 @@ class SegmentServer:
             self.events.schedule(
                 now + exec_ms / 1e3,
                 self._on_completion,
-                _InFlight(arrivals=arrivals, dispatch_time=now),
+                _InFlight(
+                    first_arrival=first_arrival, count=b, dispatch_time=now
+                ),
             )
             forced = False  # a forced flush only covers the first batch
 

@@ -11,7 +11,8 @@ shapes (diurnal sinusoid, step surge, flash crowd).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 from typing import Sequence
 
 
@@ -33,6 +34,10 @@ class RateTrace:
 
     service_id: str
     epochs: tuple[Epoch, ...]
+    #: precomputed epoch starts for O(log n) lookups; derived, not an input
+    _starts: tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if not self.epochs:
@@ -42,18 +47,19 @@ class RateTrace:
             raise ValueError("epochs must have strictly increasing starts")
         if self.epochs[0].start_s != 0.0:
             raise ValueError("the first epoch must start at t=0")
+        object.__setattr__(self, "_starts", tuple(starts))
 
     def rate_at(self, t: float) -> float:
-        """The trace's rate at absolute time ``t`` (seconds)."""
+        """The trace's rate at absolute time ``t`` (seconds).
+
+        An epoch's start is inclusive: ``rate_at(e.start_s)`` is already
+        ``e.rate``.  Binary search over the precomputed starts — this is
+        called per service per autoscaler step, which a linear epoch scan
+        made O(epochs) on long diurnal traces.
+        """
         if t < 0:
             raise ValueError("time must be non-negative")
-        current = self.epochs[0].rate
-        for epoch in self.epochs:
-            if epoch.start_s <= t:
-                current = epoch.rate
-            else:
-                break
-        return current
+        return self.epochs[bisect_right(self._starts, t) - 1].rate
 
     def peak_rate(self) -> float:
         return max(e.rate for e in self.epochs)

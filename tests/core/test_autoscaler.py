@@ -54,6 +54,22 @@ class TestAutoscaler:
         assert report.total_reconfig_ops > 0
         assert all(s.zero_downtime for s in report.steps)
 
+    def test_measured_compliance(self, profiles, services):
+        traces = [diurnal_trace("a", base_rate=2000, amplitude=0.3, epochs=3)]
+        report = Autoscaler(profiles).run(services, traces, measure_s=0.5)
+        assert len(report.steps) == 3
+        for step in report.steps:
+            assert step.compliance is not None
+            assert 0.0 <= step.compliance <= 1.0
+        # scheduled capacity always covers the traced rates here
+        assert report.mean_compliance > 0.95
+
+    def test_measurement_off_by_default(self, profiles, services):
+        traces = [diurnal_trace("a", base_rate=2000, epochs=2)]
+        report = Autoscaler(profiles).run(services, traces)
+        assert all(s.compliance is None for s in report.steps)
+        assert report.mean_compliance is None
+
     def test_horizon_cuts_trace(self, profiles, services):
         traces = [diurnal_trace("a", base_rate=2000, epochs=10,
                                 period_s=1000.0)]

@@ -108,11 +108,31 @@ class TestFleetScenarios:
         assert len(get_scenario("S9").loads) == 1000
         assert len(get_scenario("S10").loads) == 200
 
+    def test_s11_is_high_rate_s9(self):
+        from repro.scenarios.fleet import S11_DURATION_S, S11_RATE_SCALE
+
+        s9, s11 = get_scenario("S9").loads, get_scenario("S11").loads
+        assert len(s11) == len(s9)
+        # same fleet composition, every rate scaled up
+        for a, b in zip(s9, s11):
+            assert b.model == a.model
+            assert b.slo_latency_ms == a.slo_latency_ms
+            # both rates were rounded to one decimal, before/after scaling
+            assert b.request_rate == pytest.approx(
+                a.request_rate * S11_RATE_SCALE,
+                abs=0.05 * (1.0 + S11_RATE_SCALE) + 0.01,
+            )
+        # the replay exceeds a million requests over its window
+        total = sum(load.request_rate for load in s11)
+        assert total * S11_DURATION_S >= 1_000_000
+
     def test_fleet_is_deterministic(self):
         from repro.scenarios.fleet import fleet_loads
 
         assert fleet_loads(250) == fleet_loads(250)
         assert fleet_loads(250, seed=1) != fleet_loads(250, seed=2)
+        # rate_scale only rescales; the sampled fleet is the same
+        assert fleet_loads(250, rate_scale=1.0) == fleet_loads(250)
 
     def test_fleet_services_have_unique_ids(self):
         services = scenario_services("S9")

@@ -57,3 +57,23 @@ class TestUniform:
     def test_degenerate(self):
         assert len(uniform_arrivals(0.0, 1.0)) == 0
         assert len(uniform_arrivals(10.0, 0.0)) == 0
+
+    def test_fractional_expectation_rounds_half_up(self):
+        # rate * duration = 21.2 -> 21, but 21.5 and 21.8 -> 22; plain
+        # int() truncation under-generated every fractional expectation.
+        assert len(uniform_arrivals(10.6, 2.0)) == 21
+        assert len(uniform_arrivals(10.75, 2.0)) == 22
+        assert len(uniform_arrivals(10.9, 2.0)) == 22
+
+    def test_tiny_rate_still_generates_traffic(self):
+        # A segment with 0 < rate*duration < 1 used to receive zero
+        # requests; half a request or more now rounds up to one.
+        assert len(uniform_arrivals(0.3, 2.0)) == 1
+        assert len(uniform_arrivals(0.2, 2.0)) == 0
+
+    def test_effective_rate_error_bounded(self):
+        # Rounding half-up keeps the realized count within half a
+        # request of the expectation (truncation allowed a full one).
+        for rate in (3.3, 10.6, 47.9, 333.7):
+            n = len(uniform_arrivals(rate, 2.0))
+            assert abs(n - rate * 2.0) <= 0.5

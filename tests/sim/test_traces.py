@@ -46,6 +46,36 @@ class TestEpochAndTrace:
         with pytest.raises(ValueError):
             trace.rate_at(-1.0)
 
+    def test_rate_at_boundary_is_inclusive(self):
+        # Pins the epoch-start semantics the bisect lookup must keep:
+        # an epoch's start belongs to that epoch, the instant before it
+        # to the previous one, and times past the last start stay there.
+        trace = RateTrace(
+            "svc", (Epoch(0.0, 10.0), Epoch(5.0, 20.0), Epoch(7.5, 30.0))
+        )
+        assert trace.rate_at(5.0) == 20.0  # start inclusive
+        assert trace.rate_at(4.999999) == 10.0
+        assert trace.rate_at(7.5) == 30.0
+        assert trace.rate_at(1e9) == 30.0  # beyond the last epoch
+
+    def test_rate_at_matches_linear_scan(self):
+        # The bisect lookup agrees with the reference linear scan on a
+        # dense probe grid.
+        trace = diurnal_trace("svc", base_rate=500.0, epochs=48)
+
+        def linear(t):
+            current = trace.epochs[0].rate
+            for epoch in trace.epochs:
+                if epoch.start_s <= t:
+                    current = epoch.rate
+                else:
+                    break
+            return current
+
+        for k in range(200):
+            t = k * 86_400.0 / 199
+            assert trace.rate_at(t) == linear(t)
+
     def test_peak_and_mean(self):
         trace = RateTrace("svc", (Epoch(0.0, 100.0), Epoch(10.0, 300.0)))
         assert trace.peak_rate() == 300.0
