@@ -23,10 +23,22 @@ Two suites, selected with ``--suite``:
   million-request fleet, which only the fast path can execute in
   reasonable time.  Results land in ``BENCH_simulate.json``.
 
+- ``ops``: drives 100/1000-service fleets through one simulated day of
+  fleet operations (MTBF failures + repairs, spot preemption/restore
+  waves, tenant churn, SLO renegotiations — see
+  ``repro.scenarios.ops.bench_ops_run``) with the closed-loop
+  FleetController, measuring per-interval SLO compliance.  Up to
+  ``--naive-cap`` services the identical timeline is replayed on the
+  naive reference machinery (unindexed allocator, unmemoized
+  configurator, event-driven simulator) and every interval's placement
+  *and* simulation fingerprints must match.  Results — including the
+  full per-interval report — land in ``BENCH_ops.json``.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf/harness.py
     PYTHONPATH=src python benchmarks/perf/harness.py --suite simulate
+    PYTHONPATH=src python benchmarks/perf/harness.py --suite ops
     PYTHONPATH=src python benchmarks/perf/harness.py \
         --tiers 100 --baseline benchmarks/perf/baseline.json
 
@@ -74,6 +86,7 @@ from repro.sim import simulate_placement  # noqa: E402
 DEFAULT_OUTS = {
     "schedule": pathlib.Path(__file__).parent / "BENCH_schedule.local.json",
     "simulate": pathlib.Path(__file__).parent / "BENCH_simulate.local.json",
+    "ops": pathlib.Path(__file__).parent / "BENCH_ops.local.json",
 }
 GEOMETRIES = ("mig", "mi300x", "mixed")
 
@@ -84,6 +97,13 @@ SIM_TIERS = (100, 1000)
 SIM_RATE_SCALE = S11_RATE_SCALE
 SIM_DURATION_S = 1.0
 SIM_WARMUP_S = 0.25
+
+#: The ops suite's sweep: the FleetController is MIG-only here (one
+#: geometry per controller), so tiers vary the fleet size only; every
+#: interval is served for OPS_MEASURE_S simulated seconds.
+OPS_TIERS = (100, 1000)
+OPS_MEASURE_S = 0.25
+OPS_WARMUP_S = 0.1
 
 
 def _make_scheduler(geometry: str, fast_path: bool):
@@ -303,6 +323,100 @@ def run_million_request_replay():
     return row
 
 
+def run_ops_sweep(tiers, naive_cap, measure_s=OPS_MEASURE_S):
+    """The ops tiers: a simulated day of fleet operations per fleet size.
+
+    Every recorded fast/naive pair must agree on *every* interval's
+    placement fingerprint and simulation stats fingerprint — the
+    closed-loop analogue of the schedule and simulate identity checks.
+    """
+    from repro.ops import FleetController, OpsIdentityError
+    from repro.ops.controller import assert_reports_identical
+    from repro.scenarios.ops import OPS_SEED, bench_ops_run
+
+    def replay(run, fast_path):
+        ctrl = FleetController(fast_path=fast_path, seed=OPS_SEED)
+        t0 = time.perf_counter()
+        report = ctrl.run(
+            run.services,
+            run.timeline,
+            run.horizon_s,
+            measure_s=measure_s,
+            warmup_s=OPS_WARMUP_S,
+            sim_seed=OPS_SEED,
+        )
+        return report, time.perf_counter() - t0
+
+    rows = []
+    for tier in tiers:
+        run = bench_ops_run(tier)
+        fast, fast_wall = replay(run, fast_path=True)
+        attainment = fast.slo_attainment(target=0.99)
+        row = {
+            "scenario": "OPS",
+            "tier": tier,
+            "geometry": "mig",
+            "services": len(run.services),
+            "timeline_events": run.num_events,
+            "intervals": len(fast.intervals),
+            "failures": len(fast.failures),
+            "preemptions": sum(
+                1 for f in fast.failures if f.kind == "preemption"
+            ),
+            "restored": fast.restored_count,
+            "peak_gpus": fast.peak_gpus,
+            "gpu_hours": round(fast.gpu_hours, 1),
+            "reconfig_ops": fast.total_reconfig_ops,
+            # None when --ops-measure 0 disabled serving measurement
+            "mean_compliance": (
+                None
+                if fast.mean_compliance is None
+                else round(fast.mean_compliance, 6)
+            ),
+            "min_compliance": (
+                None
+                if fast.min_compliance is None
+                else round(fast.min_compliance, 6)
+            ),
+            "tenants_measured": len(attainment),
+            "tenants_99pct": sum(
+                1 for v in attainment.values() if v >= 1.0 - 1e-12
+            ),
+            "fast_wall_s": round(fast_wall, 6),
+            "naive_wall_s": None,
+            "speedup": None,
+            "identical": None,
+            "report": fast.to_doc(),
+        }
+        if tier <= naive_cap:
+            naive, naive_wall = replay(run, fast_path=False)
+            row["naive_wall_s"] = round(naive_wall, 6)
+            row["speedup"] = round(naive_wall / fast_wall, 2)
+            try:
+                assert_reports_identical(fast, naive)
+            except OpsIdentityError as exc:
+                raise SystemExit(
+                    f"FATAL: fast and naive ops replays differ for "
+                    f"{tier} services: {exc}"
+                )
+            row["identical"] = True
+        rows.append(row)
+        speedup = (
+            f"{row['speedup']}x vs naive" if row["speedup"] else "naive skipped"
+        )
+        compliance = (
+            f"compliance {100 * row['mean_compliance']:6.2f}%  "
+            if row["mean_compliance"] is not None
+            else ""
+        )
+        print(
+            f"  OPS n={tier:<5} {row['fast_wall_s']:8.2f} s  "
+            f"{row['intervals']:>3} intervals  {row['failures']:>3} failures "
+            f"({row['restored']} restored)  {compliance}({speedup})"
+        )
+    return rows
+
+
 def check_baseline(rows, baseline_path, max_regress, section, field):
     """Compare fast-path wall-clocks to the committed baseline (>Nx fails).
 
@@ -335,23 +449,28 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("schedule", "simulate"),
+        choices=("schedule", "simulate", "ops"),
         default="schedule",
         help="schedule: time the scheduler's fleet sweep (S9/S10); "
         "simulate: serve high-rate fleets through the simulation fast "
-        "path (SIM tiers, S10 measured, S11) (default: %(default)s)",
+        "path (SIM tiers, S10 measured, S11); ops: drive fleets through "
+        "a simulated day of failures/preemptions/churn with the "
+        "closed-loop FleetController (default: %(default)s)",
     )
     parser.add_argument(
         "--tiers",
         default=None,
         help="comma-separated fleet sizes (default: "
         f"{','.join(str(t) for t in FLEET_TIERS)} for schedule, "
-        f"{','.join(str(t) for t in SIM_TIERS)} for simulate)",
+        f"{','.join(str(t) for t in SIM_TIERS)} for simulate, "
+        f"{','.join(str(t) for t in OPS_TIERS)} for ops)",
     )
     parser.add_argument(
         "--geometries",
-        default=",".join(GEOMETRIES),
-        help="comma-separated geometries (default: %(default)s)",
+        default=None,
+        help="comma-separated geometries (default: "
+        f"{','.join(GEOMETRIES)}; the ops suite is MIG-only and rejects "
+        "this flag)",
     )
     parser.add_argument(
         "--naive-cap",
@@ -393,15 +512,34 @@ def main(argv=None):
         help="seconds of serving simulated per autoscaler epoch in the "
         "simulate suite (default: %(default)s)",
     )
+    parser.add_argument(
+        "--ops-measure", type=float, default=OPS_MEASURE_S,
+        help="seconds of serving simulated per ops interval "
+        "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
-    default_tiers = FLEET_TIERS if args.suite == "schedule" else SIM_TIERS
+    default_tiers = {
+        "schedule": FLEET_TIERS,
+        "simulate": SIM_TIERS,
+        "ops": OPS_TIERS,
+    }[args.suite]
     tiers = (
         [int(t) for t in args.tiers.split(",") if t]
         if args.tiers
         else list(default_tiers)
     )
-    geometries = [g.strip() for g in args.geometries.split(",") if g.strip()]
+    if args.suite == "ops" and args.geometries is not None:
+        # The FleetController runs one geometry per fleet and the ops
+        # tiers are MIG-only; silently ignoring the flag would let a
+        # user believe they benchmarked MI300X ops behavior.
+        parser.error("--geometries is not supported by the ops suite "
+                     "(MIG-only)")
+    geometries = [
+        g.strip()
+        for g in (args.geometries or ",".join(GEOMETRIES)).split(",")
+        if g.strip()
+    ]
     out = args.out if args.out is not None else DEFAULT_OUTS[args.suite]
 
     doc = {
@@ -424,6 +562,14 @@ def main(argv=None):
             )
         )
         section, field = "fleets", "indexed_wall_s"
+    elif args.suite == "ops":
+        print(
+            f"ops sweep: tiers={tiers} measure={args.ops_measure}s "
+            f"(one simulated day of failures + preemptions + churn each)"
+        )
+        rows = run_ops_sweep(tiers, args.naive_cap, measure_s=args.ops_measure)
+        doc["ops"] = rows
+        section, field = "ops", "fast_wall_s"
     else:
         print(
             f"simulate sweep: tiers={tiers} geometries={geometries} "

@@ -63,8 +63,19 @@ from repro.gpu import (
     get_geometry,
 )
 from repro.metrics import external_fragmentation, internal_slack
+from repro.ops import (
+    FleetController,
+    OpsReport,
+    merge_timeline,
+    run_identity_checked,
+)
 from repro.profiler import ProfileTable, Profiler, profile_workloads
-from repro.scenarios import get_scenario, scaled_scenario, scenario_services
+from repro.scenarios import (
+    get_scenario,
+    ops_run,
+    scaled_scenario,
+    scenario_services,
+)
 from repro.sim import simulate_placement, simulate_placement_fast
 
 __version__ = "1.0.0"
@@ -104,5 +115,10 @@ __all__ = [
     "scenario_services",
     "simulate_placement",
     "simulate_placement_fast",
+    "FleetController",
+    "OpsReport",
+    "merge_timeline",
+    "run_identity_checked",
+    "ops_run",
     "__version__",
 ]

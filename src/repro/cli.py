@@ -11,6 +11,13 @@ Subcommands:
 - ``parvagpu simulate --scenario S2 --framework gpulet
   [--geometry mig|mi300x|mixed]`` — run the discrete-event simulator and
   report SLO compliance.
+- ``parvagpu scenarios`` — list every registered scenario (S1-S14) with
+  service counts, models, total load, and supported geometries.
+- ``parvagpu ops --scenario s13 [--verify]`` — drive a fleet-operations
+  scenario (failures, preemption waves, churn, SLO renegotiation)
+  through the closed-loop FleetController and report what tenants
+  experienced; ``--verify`` additionally replays the identical timeline
+  on the naive reference machinery and asserts fingerprint identity.
 
 ``--geometry`` selects the partition geometry of the fleet: ``mig`` (the
 paper's A100 fleet, default), any other registered geometry name (e.g.
@@ -181,6 +188,157 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _geometry_support(scenario, profiles) -> str:
+    """Which geometries can serve every load of a scenario.
+
+    A load is feasible on a geometry when its profile table has an
+    operating point within the *effective* SLO (the placement algorithms
+    only see ``slo_factor`` of the client latency); ``mixed`` requires
+    every load to be feasible on at least one pool.  ``profiles`` maps
+    geometry name -> model profile tables (built once by the caller).
+    """
+    from repro.core.service import DEFAULT_SLO_FACTOR
+
+    def feasible(load, name: str) -> bool:
+        table = profiles[name].get(load.model)
+        if table is None:
+            return False
+        # Strictly below the bound, matching the scheduler's own
+        # operating-point filters (ProfileTable.best_triplets /
+        # under_latency) so this listing never advertises a geometry
+        # that `schedule` would reject at the boundary.
+        bound = load.slo_latency_ms * DEFAULT_SLO_FACTOR
+        return any(e.latency_ms < bound for e in table)
+
+    supported = [
+        name
+        for name in profiles
+        if all(feasible(load, name) for load in scenario.loads)
+    ]
+    if all(
+        any(feasible(load, name) for name in profiles)
+        for load in scenario.loads
+    ):
+        supported.append(MIXED_GEOMETRY)
+    return ",".join(supported) if supported else "-"
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.profiler import profile_workloads
+    from repro.scenarios import SCENARIOS
+
+    # Only the two in-tree backends are listed — the registry may hold
+    # ad-hoc variants (generation presets, test geometries) that have no
+    # Table-IV profiles of their own.
+    profiles = {
+        "mig": profile_workloads(),
+        "mi300x": profile_workloads(geometry=get_geometry("mi300x")),
+    }
+    print(
+        f"{'name':<5} {'services':>8} {'models':>6} {'req/s':>8} "
+        f"{'geometries':<18} description"
+    )
+    for name, sc in SCENARIOS.items():
+        print(
+            f"{name:<5} {len(sc.loads):>8} {len(set(sc.models)):>6} "
+            f"{sc.total_rate:>8.0f} {_geometry_support(sc, profiles):<18} "
+            f"{sc.description}"
+        )
+    return 0
+
+
+def _cmd_ops(args: argparse.Namespace) -> int:
+    from repro.ops import (
+        FleetController,
+        OpsIdentityError,
+        run_identity_checked,
+    )
+    from repro.scenarios.ops import OPS_SEED, ops_run
+
+    if args.verify and args.engine != "fast":
+        # --verify runs *both* engines and compares them; a user-chosen
+        # engine would be silently meaningless there.
+        print("error: --engine cannot be combined with --verify "
+              "(the verification replay runs both engines)", file=sys.stderr)
+        return 2
+    seed = args.seed if args.seed is not None else OPS_SEED
+    try:
+        run = ops_run(args.scenario, seed=seed)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
+    horizon = args.horizon if args.horizon is not None else run.horizon_s
+    kwargs = dict(
+        measure_s=args.measure, warmup_s=args.warmup, sim_seed=seed
+    )
+    try:
+        if args.verify:
+            report, _ = run_identity_checked(
+                run.services, run.timeline, horizon,
+                seed=seed, **kwargs,
+            )
+        else:
+            ctrl = FleetController(
+                fast_path=args.engine == "fast", seed=seed
+            )
+            report = ctrl.run(run.services, run.timeline, horizon, **kwargs)
+    except OpsIdentityError as exc:
+        print(f"IDENTITY CHECK FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # invalid numeric arguments (e.g. --horizon 0) surface as the
+        # CLI's clean error convention, not a traceback
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
+
+    timeline_events = sum(1 for e in run.timeline if e.time_s < horizon)
+    print(
+        f"{run.name}: {len(run.services)} services, "
+        f"{timeline_events} timeline events over {horizon:g} s"
+    )
+    for r in report.intervals:
+        events = " ".join(f"{k}x{v}" for k, v in sorted(r.events.items()))
+        comp = "" if r.compliance is None else f"  comp {100 * r.compliance:6.2f}%"
+        skip = f"  skipped {r.skipped}" if r.skipped else ""
+        print(
+            f"  t={r.time_s:>9.0f}s {r.path:<11} svcs={r.services:<5} "
+            f"gpus={r.num_gpus:<4} spares={r.spare_gpus:<3}"
+            f"{comp}{skip}  {events}"
+        )
+    print(
+        f"fleet: peak {report.peak_gpus} GPUs, "
+        f"{report.gpu_hours:.1f} GPU-hours; "
+        f"{report.total_reconfig_ops} reconfig ops "
+        f"({report.total_reconfig_work_s:.1f} s work, "
+        f"{report.total_downtime_s:.1f} s unshadowed downtime)"
+    )
+    restore = (
+        f", mean time-to-restore {report.mean_time_to_restore_s:.0f} s"
+        if report.mean_time_to_restore_s is not None
+        else ""
+    )
+    print(
+        f"failures: {len(report.failures)} "
+        f"({report.restored_count} restored{restore})"
+    )
+    if report.mean_compliance is not None:
+        attainment = report.slo_attainment(target=0.99)
+        attained = sum(1 for v in attainment.values() if v >= 1.0 - 1e-12)
+        worst_sid = min(attainment, key=lambda sid: attainment[sid])
+        print(
+            f"compliance: mean {100 * report.mean_compliance:.2f}%, "
+            f"min {100 * report.min_compliance:.2f}%; "
+            f"tenants fully >=99%-compliant: {attained}/{len(attainment)} "
+            f"(worst: {worst_sid} in "
+            f"{100 * attainment[worst_sid]:.0f}% of its intervals)"
+        )
+    checks = "state round-trip + cluster mirror"
+    if args.verify:
+        checks += " + fast-vs-naive replay"
+    print(f"identity: {checks} OK on every interval")
+    return 0
+
+
 def _add_geometry_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--geometry",
@@ -215,6 +373,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     _add_geometry_flag(p)
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list every registered scenario with loads and geometries",
+    )
+    p.set_defaults(func=_cmd_scenarios)
+
+    p = sub.add_parser(
+        "ops", help="drive a fleet-operations scenario (S12-S14)"
+    )
+    p.add_argument("--scenario", default="S13")
+    p.add_argument(
+        "--measure", type=float, default=0.25,
+        help="seconds of serving simulated per interval (0 disables; "
+        "default: %(default)s)",
+    )
+    p.add_argument("--warmup", type=float, default=0.1)
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="timeline + controller + simulation seed (default: the "
+        "scenario's committed seed)",
+    )
+    p.add_argument(
+        "--horizon", type=float, default=None,
+        help="truncate the run at this simulated time (default: the "
+        "scenario's full horizon)",
+    )
+    p.add_argument(
+        "--engine", choices=("fast", "naive"), default="fast",
+        help="fast: indexed allocator + memoized configurator + "
+        "batch-granularity simulator (default); naive: the reference "
+        "machinery (identical results, reference baseline)",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="replay the identical timeline on the naive reference and "
+        "assert per-interval fingerprint identity",
+    )
+    p.set_defaults(func=_cmd_ops)
 
     p = sub.add_parser("simulate", help="simulate serving a scenario")
     p.add_argument("--scenario", default="S2")

@@ -66,12 +66,21 @@ SLOT_FALLBACKS: dict[int, tuple[int, ...]] = dict(MIG_GEOMETRY.slot_fallbacks)
 
 @dataclass
 class _GPUState:
-    """Mutable per-GPU build state during allocation."""
+    """Mutable per-GPU build state during allocation.
+
+    ``blocked`` marks a GPU that exists only to reserve its id — a
+    failed/preempted device that may come back.  First-fit never places
+    on it (both the linear scan and the slot index probe through
+    ``first_free_slot``), it stays empty so placement assembly drops it,
+    but its presence keeps the allocator's fresh-GPU id counter above
+    the dead device's id.
+    """
 
     gpu_id: int
     geometry: PartitionGeometry = MIG_GEOMETRY
     layout: PartitionLayout = None  # type: ignore[assignment]
     placed: list[tuple[Segment, int]] = field(default_factory=list)
+    blocked: bool = False
 
     def __post_init__(self) -> None:
         if self.layout is None:
@@ -87,6 +96,8 @@ class _GPUState:
 
     def first_free_slot(self, size: int, fallback: bool = False) -> Optional[int]:
         """First preference-ordered slot that can host ``size``, or None."""
+        if self.blocked:
+            return None
         slots = (
             self.geometry.fallback_slots(size)
             if fallback

@@ -173,14 +173,7 @@ class Autoscaler:
                     # each re-plan reports its own untouched instances.
                     unchanged += len(plan.unchanged)
 
-            total_cost = ReconfigurationCost(
-                total_work_s=sum(c.total_work_s for c in costs),
-                downtime_s={
-                    sid: sum(c.downtime_s.get(sid, 0.0) for c in costs)
-                    for sid in rates
-                },
-                shadow_gpus=max((c.shadow_gpus for c in costs), default=0),
-            )
+            total_cost = ReconfigurationCost.combine(costs)
             compliance = None
             if measure_s > 0:
                 from repro.sim.runner import simulate_placement

@@ -6,6 +6,15 @@ Segment Configurator for *one* service, removes only that service's
 segments from the deployment map, re-relocates them into the existing map
 and re-optimizes — so services whose placement did not change are not
 reconfigured (the paper's reconfiguration-overhead argument).
+
+The manager also tracks **spare GPUs**: devices that are known-good but
+currently host nothing, e.g. a preempted spot GPU that came back
+(:meth:`~repro.core.failover.FailoverController.restore_gpu`).  Every
+incremental re-plan rebuilds its allocator state through
+:meth:`build_states`, which appends the spares as empty per-GPU states
+*after* the live GPUs — restored capacity is visible to the very next
+re-plan, but first-fit still prefers holes in the live fleet, so a spare
+is only drafted when no existing hole fits.
 """
 
 from __future__ import annotations
@@ -46,6 +55,14 @@ class DeploymentManager:
             cluster if cluster is not None else Cluster(geometry=geometry)
         )
         self.current: Optional[Placement] = None
+        #: Known-good empty GPUs available to re-plans: gpu_id -> geometry
+        #: name.  Populated by ``FailoverController.restore_gpu``.
+        self.spare_gpus: dict[int, str] = {}
+        #: GPUs out of service (failed/preempted, not yet restored):
+        #: gpu_id -> geometry name.  Their ids stay reserved — a re-plan
+        #: must never hand a dead device's id to a fresh GPU, or a later
+        #: restore would collide with live capacity.
+        self.retired_gpus: dict[int, str] = {}
 
     # ------------------------------------------------------------------ #
     # initial deployment
@@ -62,7 +79,91 @@ class DeploymentManager:
         plan = self.cluster.plan_reconfiguration(placement.to_instance_specs())
         self.cluster.execute(plan)
         self.current = placement
+        # A spare that the re-plan drafted is spare no longer.
+        if self.spare_gpus:
+            occupied = {g.gpu_id for g in placement.gpus if not g.is_empty}
+            self.spare_gpus = {
+                gid: name
+                for gid, name in self.spare_gpus.items()
+                if gid not in occupied
+            }
         return plan
+
+    # ------------------------------------------------------------------ #
+    # incremental allocator state
+    # ------------------------------------------------------------------ #
+
+    def build_states(
+        self,
+        exclude_service: Optional[str] = None,
+        skip_gpu: Optional[int] = None,
+    ) -> list[_GPUState]:
+        """Allocator build-state of the live map, spares included.
+
+        The shared entry point of every incremental re-plan (SLO updates,
+        failover, departures): per-GPU states are rebuilt from the current
+        placement (each under its own geometry) and the registered spare
+        GPUs are appended as empty states in gpu-id order, so restored
+        capacity is drafted only when no hole in the live fleet fits.
+
+        Retired GPUs (failed, not yet restored) are appended as *blocked*
+        sentinel states: first-fit can never place on them and
+        ``_to_placement`` drops them, but their presence keeps the
+        allocator's fresh-GPU id counter above every dead device's id —
+        so a later restore never collides with live capacity.
+        """
+        from repro.gpu.geometry import get_geometry
+
+        if self.current is None:
+            raise RuntimeError("nothing deployed yet")
+        states = states_from_placement(
+            self.current, exclude_service=exclude_service, skip_gpu=skip_gpu
+        )
+        live = {s.gpu_id for s in states}
+        for gid in sorted(self.spare_gpus):
+            if gid in live or gid == skip_gpu:
+                continue
+            states.append(
+                _GPUState(gpu_id=gid, geometry=get_geometry(self.spare_gpus[gid]))
+            )
+        for gid in sorted(self.retired_gpus):
+            if gid in live:
+                continue
+            states.append(
+                _GPUState(
+                    gpu_id=gid,
+                    geometry=get_geometry(self.retired_gpus[gid]),
+                    blocked=True,
+                )
+            )
+        return states
+
+    # ------------------------------------------------------------------ #
+    # service departure
+    # ------------------------------------------------------------------ #
+
+    def remove_service(
+        self, services: Sequence[Service], departed_id: str
+    ) -> tuple[Placement, ReconfigurationPlan]:
+        """Tear down one service, leaving every other segment in place.
+
+        ``services`` is the *remaining* fleet (the departed service
+        excluded) — its rates are re-assigned over the surviving map.
+        GPUs fully emptied by the departure are released (scale-in), not
+        kept as spares: a spare records restored capacity, not a tenant
+        leaving.
+        """
+        if self.current is None:
+            raise RuntimeError("nothing deployed yet")
+        if not self.current.segments_of(departed_id):
+            raise ValueError(f"service {departed_id!r} hosts no segments")
+        gpus = self.build_states(exclude_service=departed_id)
+        allocator = SegmentAllocator(geometry=self.geometry)
+        placement = allocator._to_placement(gpus)
+        placement.framework = self.current.framework
+        placement.assign_rates({s.id: s.request_rate for s in services})
+        plan = self.deploy(placement)
+        return placement, plan
 
     # ------------------------------------------------------------------ #
     # SLO update (SIII-F)
@@ -101,12 +202,10 @@ class DeploymentManager:
         configurator.configure([changed])
 
         # Rebuild allocator state from the current map (each plan under its
-        # own geometry), minus the changed service's segments; the slot
-        # index is rebuilt over the surviving states once and shared by
-        # relocation and optimization.
-        gpus: list[_GPUState] = states_from_placement(
-            self.current, exclude_service=changed.id
-        )
+        # own geometry) plus any spare GPUs, minus the changed service's
+        # segments; the slot index is rebuilt over the surviving states
+        # once and shared by relocation and optimization.
+        gpus: list[_GPUState] = self.build_states(exclude_service=changed.id)
 
         allocator = SegmentAllocator(
             optimize=optimize, geometry=self.geometry, indexed=fast_path

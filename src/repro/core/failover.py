@@ -6,6 +6,13 @@ loses capacity; the recovery path mirrors the SLO-update path: the affected
 services' lost segments are re-enqueued and relocated into the surviving
 map (growing the fleet only if no hole fits), while untouched services keep
 serving.
+
+Failures are not permanent: a preempted spot GPU that comes back (or a
+failed device that is repaired) rejoins the fleet through
+:meth:`FailoverController.restore_gpu`, which registers it as a *spare*
+with the :class:`~repro.core.deployment.DeploymentManager` — the next
+incremental re-plan sees the restored capacity as an empty GPU appended
+after the live fleet, so it is drafted exactly when no existing hole fits.
 """
 
 from __future__ import annotations
@@ -13,11 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from repro.core.allocator import (
-    SegmentAllocator,
-    _GPUState,
-    states_from_placement,
-)
+from repro.core.allocator import SegmentAllocator, _GPUState
 from repro.core.deployment import DeploymentManager
 from repro.core.placement import Placement
 from repro.core.segments import Segment
@@ -38,10 +41,11 @@ class FailoverResult:
     cost: ReconfigurationCost
     gpus_before: int
     gpus_after: int
+    reconfig_ops: int = 0  #: MIG/MPS create+destroy operations executed
 
 
 class FailoverController:
-    """Recovers deployments from GPU failures."""
+    """Recovers deployments from GPU failures (and takes GPUs back)."""
 
     def __init__(
         self,
@@ -56,6 +60,17 @@ class FailoverController:
         # fast_path=False recovers on the naive scans — identical
         # placements, kept as the reference baseline.
         self.fast_path = fast_path
+
+    @property
+    def failed(self) -> dict[int, str]:
+        """GPUs currently out of the fleet: gpu_id -> geometry name.
+
+        Shared with the deployment manager (``retired_gpus``), which
+        keeps every re-plan from reusing a dead device's id.
+        ``restore_gpu`` consumes entries; a full re-schedule renumbers
+        GPU ids, so callers that re-plan from scratch must ``reset()``.
+        """
+        return self.manager.retired_gpus
 
     def fail_gpu(
         self, gpu_id: int, services: Sequence[Service]
@@ -100,9 +115,14 @@ class FailoverController:
                 )
             )
 
-        # Rebuild allocator state from every *surviving* GPU, each under
-        # its own geometry, and index the survivors' free slots once.
-        gpus: list[_GPUState] = states_from_placement(current, skip_gpu=gpu_id)
+        # Retire the victim first: its id must stay reserved (a blocked
+        # sentinel in the build state) so relocation can neither place on
+        # the dead device nor hand its id to a fresh GPU.  Then rebuild
+        # allocator state from every *surviving* GPU (plus any registered
+        # spares), each under its own geometry, and index the survivors'
+        # free slots once.
+        self.manager.retired_gpus[gpu_id] = victim.geometry
+        gpus: list[_GPUState] = self.manager.build_states(skip_gpu=gpu_id)
 
         allocator = SegmentAllocator(
             optimize=self.optimize, geometry=victim_geometry,
@@ -131,4 +151,38 @@ class FailoverController:
             cost=price_plan(plan),
             gpus_before=gpus_before,
             gpus_after=placement.num_gpus,
+            reconfig_ops=plan.num_operations,
         )
+
+    def restore_gpu(self, gpu_id: int) -> str:
+        """Return a failed/preempted GPU to the free pool.
+
+        The GPU re-registers as a spare with the deployment manager — the
+        incremental allocator state every re-plan builds includes spares
+        as empty GPUs, so the restored capacity is visible to the very
+        next re-plan without touching anything currently serving.
+        Returns the geometry name of the restored device.
+        """
+        try:
+            geometry = self.failed.pop(gpu_id)
+        except KeyError:
+            raise ValueError(
+                f"GPU {gpu_id} is not registered as failed"
+            ) from None
+        current = self.manager.current
+        if current is not None and any(
+            g.gpu_id == gpu_id and not g.is_empty for g in current.gpus
+        ):  # pragma: no cover - registry corruption guard
+            raise ValueError(f"GPU {gpu_id} is currently hosting segments")
+        self.manager.spare_gpus[gpu_id] = geometry
+        return geometry
+
+    def reset(self) -> None:
+        """Forget failed/spare bookkeeping (after a from-scratch re-plan).
+
+        A full re-schedule renumbers GPU ids, so failed-GPU ids recorded
+        against the old map are meaningless; callers that fall back to a
+        full re-plan clear both registries.
+        """
+        self.manager.retired_gpus.clear()
+        self.manager.spare_gpus.clear()

@@ -18,7 +18,7 @@ loading model weights dominates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.gpu.cluster import ReconfigurationPlan
 
@@ -47,6 +47,25 @@ class ReconfigurationCost:
     @property
     def disrupted_services(self) -> tuple[str, ...]:
         return tuple(sorted(s for s, d in self.downtime_s.items() if d > 0))
+
+    @classmethod
+    def combine(cls, costs: "Sequence[ReconfigurationCost]") -> "ReconfigurationCost":
+        """Aggregate sequential reconfigurations into one cost.
+
+        Work and per-service downtime sum (the operations serialize);
+        shadow demand is the *max* concurrent need, since each swap's
+        spares are released before the next begins.  The single home of
+        this arithmetic — the autoscaler's per-epoch batches and the
+        fleet controller's per-interval batches both combine here.
+        """
+        return cls(
+            total_work_s=sum(c.total_work_s for c in costs),
+            downtime_s={
+                sid: sum(c.downtime_s.get(sid, 0.0) for c in costs)
+                for sid in {k for c in costs for k in c.downtime_s}
+            },
+            shadow_gpus=max((c.shadow_gpus for c in costs), default=0),
+        )
 
 
 def price_plan(

@@ -1,0 +1,256 @@
+"""Seeded disturbance generators for fleet-operations timelines.
+
+Every generator is a pure function of its arguments — two processes (or
+the fast-path and naive-reference replays of one recorded run) that build
+a timeline from the same seed see the exact same events.  Generators
+return plain event tuples; compose them with
+:func:`~repro.ops.events.merge_timeline`.
+
+Wall-clock never enters a timeline; times are simulated seconds from the
+start of the run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.ops.events import (
+    GpuFailure,
+    GpuRecovery,
+    OpsEvent,
+    RateEpoch,
+    ServiceArrival,
+    ServiceDeparture,
+    SloChange,
+    SpotPreemptionWave,
+)
+from repro.sim.traces import RateTrace
+
+
+def rate_epochs(
+    traces: Sequence[RateTrace], horizon_s: float | None = None
+) -> tuple[RateEpoch, ...]:
+    """Every trace epoch as a :class:`RateEpoch` event.
+
+    The piecewise-constant :class:`~repro.sim.traces.RateTrace` is the
+    repo's existing load model (diurnal, surge, flash crowd); this is the
+    bridge that lets those traces ride the same timeline as failures and
+    churn.  Epochs at ``t >= horizon_s`` are dropped.
+    """
+    out = [
+        RateEpoch(time_s=e.start_s, service_id=t.service_id, rate=e.rate)
+        for t in traces
+        for e in t.epochs
+        if horizon_s is None or e.start_s < horizon_s
+    ]
+    return tuple(out)
+
+
+def flash_crowds(
+    traces: Sequence[RateTrace],
+    horizon_s: float,
+    num_crowds: int,
+    seed: int,
+    factor_range: tuple[float, float] = (2.0, 4.0),
+    duration_range_s: tuple[float, float] = (300.0, 900.0),
+) -> tuple[RateEpoch, ...]:
+    """Flash-crowd overlays on existing traces.
+
+    Each crowd picks one traced service and a start time, multiplies the
+    trace's rate at that instant by a drawn factor, and drops back to the
+    trace's own rate when the crowd passes.  A trace epoch boundary
+    falling *inside* a crowd wins (later events override earlier ones in
+    the controller), which reads as the crowd ebbing early — acceptable
+    for a disturbance generator and keeps the semantics of the merged
+    stream trivial: the last rate written is the rate.
+    """
+    if num_crowds < 0:
+        raise ValueError("num_crowds must be non-negative")
+    rng = random.Random(f"{seed}:flash:{num_crowds}:{horizon_s}")
+    out: list[RateEpoch] = []
+    for _ in range(num_crowds):
+        trace = rng.choice(list(traces))
+        start = rng.uniform(0.0, horizon_s * 0.9)
+        duration = rng.uniform(*duration_range_s)
+        factor = rng.uniform(*factor_range)
+        end = min(start + duration, horizon_s * 0.999)
+        out.append(
+            RateEpoch(
+                time_s=start,
+                service_id=trace.service_id,
+                rate=trace.rate_at(start) * factor,
+            )
+        )
+        out.append(
+            RateEpoch(
+                time_s=end,
+                service_id=trace.service_id,
+                rate=trace.rate_at(end),
+            )
+        )
+    return tuple(out)
+
+
+def mtbf_failures(
+    horizon_s: float,
+    mtbf_s: float,
+    seed: int,
+    repair_s: float | None = None,
+    prefix: str = "mtbf",
+) -> tuple[OpsEvent, ...]:
+    """Poisson-process GPU failures (exponential inter-arrival = MTBF).
+
+    With ``repair_s`` each failure is followed by a :class:`GpuRecovery`
+    of the same device after the repair time (possibly past the horizon,
+    in which case the GPU stays down for the rest of the run).  Victims
+    are draw-resolved by the controller against the occupied fleet.
+    """
+    if mtbf_s <= 0:
+        raise ValueError("MTBF must be positive")
+    rng = random.Random(f"{seed}:mtbf:{mtbf_s}:{horizon_s}")
+    out: list[OpsEvent] = []
+    t = rng.expovariate(1.0 / mtbf_s)
+    k = 0
+    while t < horizon_s:
+        event_id = f"{prefix}-{k}"
+        out.append(GpuFailure(time_s=t, event_id=event_id, draw=rng.random()))
+        if repair_s is not None and t + repair_s < horizon_s:
+            out.append(GpuRecovery(time_s=t + repair_s, ref=event_id))
+        t += rng.expovariate(1.0 / mtbf_s)
+        k += 1
+    return tuple(out)
+
+
+def spot_preemption_waves(
+    horizon_s: float,
+    every_s: float,
+    fraction: float,
+    seed: int,
+    restore_delay_s: float | None = None,
+    jitter: float = 0.25,
+    prefix: str = "wave",
+) -> tuple[SpotPreemptionWave, ...]:
+    """Periodic spot-reclaim waves with jittered spacing.
+
+    A wave every ``every_s`` (1 ± ``jitter``) preempts ``fraction`` of the
+    occupied fleet; ``restore_delay_s`` makes the controller schedule each
+    victim's return (the SpotServe-style preempt/restore cycle).
+    """
+    if every_s <= 0:
+        raise ValueError("wave interval must be positive")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError("jitter must be in [0, 1)")
+    rng = random.Random(f"{seed}:waves:{every_s}:{fraction}")
+    out: list[SpotPreemptionWave] = []
+    t = every_s * rng.uniform(1.0 - jitter, 1.0 + jitter)
+    k = 0
+    while t < horizon_s:
+        out.append(
+            SpotPreemptionWave(
+                time_s=t,
+                event_id=f"{prefix}-{k}",
+                fraction=fraction,
+                draw=rng.random(),
+                restore_delay_s=restore_delay_s,
+            )
+        )
+        t += every_s * rng.uniform(1.0 - jitter, 1.0 + jitter)
+        k += 1
+    return tuple(out)
+
+
+def tenant_churn(
+    horizon_s: float,
+    arrivals: int,
+    departures: int,
+    seed: int,
+    base_ids: Sequence[str] = (),
+    rate_scale: float = 1.0,
+    id_prefix: str = "tenant",
+) -> tuple[OpsEvent, ...]:
+    """A tenant-churn process: services arriving and leaving.
+
+    Arriving tenants resample the Table-IV load population exactly like
+    :func:`repro.scenarios.fleet.fleet_loads` (real (model, SLO) cells,
+    bounded jitter, SLOs only relaxed — every synthetic arrival is
+    feasible on every registered geometry).  Departures pick uniformly
+    from the currently-departable pool: ``base_ids`` plus every tenant
+    this process already admitted and has not yet removed.  Departures
+    drawn while the pool is empty are dropped.
+    """
+    from repro.scenarios.fleet import _base_loads
+
+    if arrivals < 0 or departures < 0:
+        raise ValueError("arrival/departure counts must be non-negative")
+    rng = random.Random(f"{seed}:churn:{arrivals}:{departures}")
+    marks = [("arrive", rng.uniform(0.0, horizon_s)) for _ in range(arrivals)]
+    marks += [("depart", rng.uniform(0.0, horizon_s)) for _ in range(departures)]
+    marks.sort(key=lambda m: (m[1], m[0]))
+
+    base = _base_loads()
+    pool = list(base_ids)
+    out: list[OpsEvent] = []
+    k = 0
+    for action, t in marks:
+        if action == "arrive":
+            cell = rng.choice(base)
+            sid = f"{id_prefix}-{k}"
+            k += 1
+            out.append(
+                ServiceArrival(
+                    time_s=t,
+                    service_id=sid,
+                    model=cell.model,
+                    request_rate=round(
+                        cell.request_rate * rng.uniform(0.2, 2.0) * rate_scale,
+                        1,
+                    ),
+                    slo_latency_ms=round(
+                        cell.slo_latency_ms * rng.uniform(1.0, 1.5)
+                    ),
+                )
+            )
+            pool.append(sid)
+        else:
+            if not pool:
+                continue
+            sid = pool.pop(rng.randrange(len(pool)))
+            out.append(ServiceDeparture(time_s=t, service_id=sid))
+    return tuple(out)
+
+
+def slo_renegotiations(
+    services: Sequence[tuple[str, float]],
+    horizon_s: float,
+    count: int,
+    seed: int,
+    relax_range: tuple[float, float] = (1.2, 1.6),
+) -> tuple[SloChange, ...]:
+    """Mid-flight SLO renegotiations, always reverting before the horizon.
+
+    ``services`` is ``(service_id, slo_latency_ms)`` pairs.  Each episode
+    relaxes one service's SLO by a drawn factor at ``t1`` and reverts to
+    the original at ``t2 > t1`` — relax-then-revert keeps every
+    renegotiated state feasible by construction (the original SLO was
+    schedulable, and relaxing never removes operating points).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if relax_range[0] < 1.0:
+        raise ValueError("renegotiation only relaxes SLOs (factor >= 1)")
+    rng = random.Random(f"{seed}:slo:{count}:{horizon_s}")
+    out: list[SloChange] = []
+    for _ in range(count):
+        sid, slo = rng.choice(list(services))
+        t1 = rng.uniform(0.0, horizon_s * 0.7)
+        t2 = rng.uniform(t1 + horizon_s * 0.05, horizon_s * 0.95)
+        out.append(
+            SloChange(
+                time_s=t1,
+                service_id=sid,
+                slo_latency_ms=round(slo * rng.uniform(*relax_range)),
+            )
+        )
+        out.append(SloChange(time_s=t2, service_id=sid, slo_latency_ms=slo))
+    return tuple(out)

@@ -1,0 +1,641 @@
+"""The closed-loop fleet controller.
+
+``FleetController.run`` drives a deployment through an adversarial
+operational timeline: at every timeline instant it applies the batch of
+due events through the *cheapest correct path* — the SIII-F incremental
+machinery (one-service SLO updates, single-GPU failover, spare restores,
+service teardown) for single-service and single-GPU deltas, a full
+re-schedule only when the structural delta demands it (bootstrap, or a
+churn burst touching more than ``full_replan_fraction`` of the fleet) —
+prices every transition with the reconfiguration cost model, and (when
+asked) measures each interval's serving quality with the simulation fast
+path.
+
+Two identity checks guard every run:
+
+- **state round-trip** (always on with ``check=True``): after each
+  interval the placement must survive
+  ``build_states() -> _to_placement() -> assign_rates()`` byte-identically
+  — incremental bookkeeping (spares, preserved GPU ids, partial updates)
+  cannot have corrupted the map — and the live cluster's instances must
+  mirror the map exactly;
+- **fast vs naive replay** (:func:`run_identity_checked`): the same
+  timeline replayed from scratch on the naive reference machinery
+  (unindexed allocator, unmemoized configurator, per-request event-driven
+  simulator) must produce fingerprint-identical placements — and
+  fingerprint-identical serving statistics — at every interval.
+
+Determinism: timelines are pure data, victim selection derives from event
+draws plus the controller seed, and the simulator is seeded — two runs
+(or the fast/naive pair) see the exact same trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from heapq import heappop, heappush
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.core.allocator import SegmentAllocator
+from repro.core.deployment import DeploymentManager
+from repro.core.failover import FailoverController
+from repro.core.parvagpu import ParvaGPU
+from repro.core.placement import Placement
+from repro.core.service import Service
+from repro.gpu.geometry import get_geometry
+from repro.gpu.reconfig import ReconfigurationCost, ShadowBudget, price_plan
+from repro.ops.events import (
+    GpuFailure,
+    GpuRecovery,
+    OpsEvent,
+    RateEpoch,
+    ServiceArrival,
+    ServiceDeparture,
+    SloChange,
+    SpotPreemptionWave,
+    timeline_key,
+)
+from repro.ops.report import FailureRecord, IntervalRecord, OpsReport
+from repro.profiler.table import ProfileTable
+
+
+class OpsIdentityError(RuntimeError):
+    """An identity check failed: incremental state diverged from reference."""
+
+
+class FleetController:
+    """Consumes an event timeline, keeping one deployment correct throughout."""
+
+    def __init__(
+        self,
+        profiles: Optional[Mapping[str, ProfileTable]] = None,
+        geometry: str = "mig",
+        use_mps: bool = True,
+        optimize: bool = True,
+        fast_path: bool = True,
+        seed: int = 0,
+        spare_shadow_gpus: int = 4,
+        full_replan_fraction: float = 0.5,
+    ) -> None:
+        geo = get_geometry(geometry)
+        if profiles is None:
+            from repro.profiler import profile_workloads
+
+            profiles = (
+                profile_workloads()
+                if geo.name == "mig"
+                else profile_workloads(geometry=geo)
+            )
+        self.profiles = profiles
+        self.geometry = geo
+        self.fast_path = fast_path
+        self.seed = seed
+        if not 0.0 < full_replan_fraction <= 1.0:
+            raise ValueError("full_replan_fraction must be in (0, 1]")
+        #: fraction of the fleet an interval's arrivals+departures must
+        #: exceed before a full re-schedule replaces per-service updates
+        self.full_replan_fraction = full_replan_fraction
+        self.scheduler = ParvaGPU(
+            profiles,
+            use_mps=use_mps,
+            optimize=optimize,
+            geometry=geo,
+            fast_path=fast_path,
+        )
+        self.spare_shadow_gpus = spare_shadow_gpus
+        #: failure event_id -> the GPU id the draw resolved to
+        self._eid_to_gpu: dict[str, int] = {}
+        self._reset_deployment()
+
+    def _reset_deployment(self) -> None:
+        """Fresh deployment state: manager, failover, shadow budget.
+
+        Called at construction *and* at the top of every :meth:`run`, so
+        a controller is reentrant — a second run bootstraps from scratch
+        instead of silently continuing from the previous run's final
+        deployment (the module's determinism guarantee).  The final
+        state of the last run stays inspectable on ``self.manager``
+        until the next run begins.
+        """
+        self.manager = DeploymentManager(self.profiles, geometry=self.geometry)
+        self.failover = FailoverController(
+            self.profiles,
+            self.manager,
+            optimize=self.scheduler.optimize,
+            fast_path=self.fast_path,
+        )
+        self.shadows = ShadowBudget(spare_gpus=self.spare_shadow_gpus)
+        self._eid_to_gpu = {}
+
+    # ------------------------------------------------------------------ #
+    # the run loop
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        services: Sequence[Service],
+        timeline: Iterable[OpsEvent],
+        horizon_s: float,
+        measure_s: float = 0.0,
+        warmup_s: float = 0.1,
+        sim_seed: int = 0,
+        sim_fast_path: Optional[bool] = None,
+        check: bool = True,
+    ) -> OpsReport:
+        """Drive ``services`` through ``timeline`` until ``horizon_s``.
+
+        With ``measure_s > 0`` every interval's deployment is *served*
+        for that long (after ``warmup_s`` of warmup) and per-tenant SLO
+        compliance is recorded.  ``sim_fast_path`` defaults to the
+        controller's own ``fast_path``, so a naive-reference replay also
+        exercises the event-driven simulation engine.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon must be positive")
+        self._reset_deployment()
+        sim_fast = self.fast_path if sim_fast_path is None else sim_fast_path
+        # Private copies: the run rewrites rates/SLOs/plan state, and
+        # callers reasonably reuse their Service objects afterwards.
+        work = [
+            Service(
+                id=s.id,
+                model=s.model,
+                slo_latency_ms=s.slo_latency_ms,
+                request_rate=s.request_rate,
+                slo_factor=s.slo_factor,
+            )
+            for s in services
+        ]
+        by_id = {s.id: s for s in work}
+        if len(by_id) != len(work):
+            raise ValueError("duplicate service ids")
+
+        static = sorted(
+            (e for e in timeline if e.time_s < horizon_s), key=timeline_key
+        )
+        si = 0
+        #: controller-scheduled events (wave restores); (key, seq, event)
+        pending: list[tuple[tuple[float, int, str], int, OpsEvent]] = []
+        self._pending_seq = 0
+        self._eid_to_gpu = {}
+        report = OpsReport(
+            horizon_s=horizon_s,
+            geometry=self.geometry.name,
+            fast_path=self.fast_path,
+        )
+
+        t = 0.0  # the bootstrap interval exists even on an empty timeline
+        while True:
+            batch: list[OpsEvent] = []
+            while si < len(static) and static[si].time_s <= t:
+                batch.append(static[si])
+                si += 1
+            while pending and pending[0][0][0] <= t:
+                batch.append(heappop(pending)[2])
+            batch.sort(key=timeline_key)
+
+            record = self._apply_batch(t, batch, work, by_id, report, pending)
+
+            if check:
+                self._check_state(work)
+            placement = self.manager.current
+            record.fingerprint = placement.fingerprint()
+            if measure_s > 0:
+                self._measure(
+                    record, placement, work, measure_s, warmup_s, sim_seed,
+                    sim_fast,
+                )
+            next_times = []
+            if si < len(static):
+                next_times.append(static[si].time_s)
+            if pending:
+                next_times.append(pending[0][0][0])
+            nt = min(next_times) if next_times else None
+            record.duration_s = (horizon_s - t) if nt is None else (nt - t)
+            report.intervals.append(record)
+            if nt is None:
+                break
+            t = nt
+        return report
+
+    # ------------------------------------------------------------------ #
+    # event application
+    # ------------------------------------------------------------------ #
+
+    def _apply_batch(
+        self,
+        t: float,
+        batch: list[OpsEvent],
+        work: list[Service],
+        by_id: dict[str, Service],
+        report: OpsReport,
+        pending: list,
+    ) -> IntervalRecord:
+        counts: dict[str, int] = {}
+        skipped = 0
+        costs: list[ReconfigurationCost] = []
+        ops = 0
+        path = "incremental"
+
+        def count(e: OpsEvent) -> None:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+
+        service_events = [
+            e
+            for e in batch
+            if isinstance(e, (ServiceDeparture, ServiceArrival, SloChange, RateEpoch))
+        ]
+        gpu_events = [
+            e
+            for e in batch
+            if isinstance(e, (GpuRecovery, GpuFailure, SpotPreemptionWave))
+        ]
+
+        structural = sum(
+            1
+            for e in service_events
+            if isinstance(e, (ServiceDeparture, ServiceArrival))
+        )
+        bootstrap = self.manager.current is None
+        if bootstrap or structural > self.full_replan_fraction * max(1, len(work)):
+            # The delta demands a full re-plan: fold every service-level
+            # event into the fleet state, then schedule from scratch.
+            path = "full"
+            for e in service_events:
+                skipped += 0 if self._apply_to_state(e, work, by_id) else 1
+                count(e)
+            for svc in work:
+                svc.request_rate = max(svc.request_rate, 1e-6)
+                svc.reset_plan()
+            placement = self.scheduler.schedule(work)
+            plan = self.manager.deploy(placement)
+            cost = price_plan(plan)
+            if bootstrap:
+                # Initial deployment precedes serving: the setup work is
+                # real, but no tenant was interrupted — recording the
+                # instance-creation time as per-service downtime would
+                # dominate every run's headline downtime with a gap
+                # nobody experienced.
+                cost = ReconfigurationCost(
+                    total_work_s=cost.total_work_s,
+                    downtime_s={},
+                    shadow_gpus=0,
+                )
+            costs.append(cost)
+            ops += plan.num_operations
+            # A from-scratch map renumbers GPUs: failed/spare ids recorded
+            # against the old map are meaningless now.
+            self.failover.reset()
+            self._eid_to_gpu.clear()
+        else:
+            for e in service_events:
+                applied, cost, n = self._apply_incremental(e, work, by_id)
+                if not applied:
+                    skipped += 1
+                if cost is not None:
+                    costs.append(cost)
+                    ops += n
+                count(e)
+
+        for e in gpu_events:
+            applied, applied_costs, n = self._apply_gpu_event(
+                t, e, work, report, pending
+            )
+            if not applied:
+                skipped += 1
+            costs.extend(applied_costs)
+            ops += n
+            count(e)
+
+        total = ReconfigurationCost.combine(costs)
+        return IntervalRecord(
+            time_s=t,
+            duration_s=0.0,  # filled by the run loop
+            path=path,
+            events=counts,
+            skipped=skipped,
+            services=len(work),
+            num_gpus=self.manager.current.num_gpus,
+            spare_gpus=len(self.manager.spare_gpus),
+            reconfig_ops=ops,
+            reconfig_work_s=total.total_work_s,
+            max_downtime_s=total.max_downtime_s,
+            downtime_total_s=sum(total.downtime_s.values()),
+            zero_downtime=self.shadows.admit(t, total),
+        )
+
+    def _apply_to_state(
+        self, e: OpsEvent, work: list[Service], by_id: dict[str, Service]
+    ) -> bool:
+        """Fold one service-level event into the fleet state (no re-plan)."""
+        if isinstance(e, ServiceDeparture):
+            svc = by_id.pop(e.service_id, None)
+            if svc is None:
+                return False
+            work.remove(svc)
+            return True
+        if isinstance(e, ServiceArrival):
+            if e.service_id in by_id:
+                return False
+            svc = Service(
+                id=e.service_id,
+                model=e.model,
+                slo_latency_ms=e.slo_latency_ms,
+                request_rate=e.request_rate,
+            )
+            work.append(svc)
+            by_id[svc.id] = svc
+            return True
+        if isinstance(e, SloChange):
+            svc = by_id.get(e.service_id)
+            if svc is None:
+                return False
+            svc.slo_latency_ms = e.slo_latency_ms
+            return True
+        if isinstance(e, RateEpoch):
+            svc = by_id.get(e.service_id)
+            if svc is None:
+                return False
+            svc.request_rate = max(e.rate, 1e-6)
+            return True
+        raise TypeError(f"not a service-level event: {e!r}")  # pragma: no cover
+
+    def _apply_incremental(
+        self, e: OpsEvent, work: list[Service], by_id: dict[str, Service]
+    ) -> tuple[bool, Optional[ReconfigurationCost], int]:
+        """One service-level event through the SIII-F incremental path."""
+        kw = dict(
+            use_mps=self.scheduler.use_mps,
+            optimize=self.scheduler.optimize,
+            fast_path=self.fast_path,
+        )
+        # Departures/arrivals mutate the fleet state through the same
+        # code path the full-replan branch uses; SLO/rate changes are
+        # applied by update_slo itself (the old value is needed first
+        # for the no-op check).
+        if isinstance(e, ServiceDeparture):
+            if not self._apply_to_state(e, work, by_id):
+                return False, None, 0
+            _, plan = self.manager.remove_service(work, e.service_id)
+            return True, price_plan(plan), plan.num_operations
+        if isinstance(e, ServiceArrival):
+            if not self._apply_to_state(e, work, by_id):
+                return False, None, 0
+            _, plan = self.manager.update_slo(work, by_id[e.service_id], **kw)
+            return True, price_plan(plan), plan.num_operations
+        if isinstance(e, SloChange):
+            svc = by_id.get(e.service_id)
+            if svc is None:
+                return False, None, 0
+            if svc.slo_latency_ms == e.slo_latency_ms:
+                return True, None, 0
+            _, plan = self.manager.update_slo(
+                work, svc, new_slo_ms=e.slo_latency_ms, **kw
+            )
+            return True, price_plan(plan), plan.num_operations
+        if isinstance(e, RateEpoch):
+            svc = by_id.get(e.service_id)
+            if svc is None:
+                return False, None, 0
+            rate = max(e.rate, 1e-6)
+            if svc.request_rate == rate:
+                return True, None, 0
+            _, plan = self.manager.update_slo(work, svc, new_rate=rate, **kw)
+            return True, price_plan(plan), plan.num_operations
+        raise TypeError(f"not a service-level event: {e!r}")  # pragma: no cover
+
+    def _occupied(self) -> list[int]:
+        current = self.manager.current
+        if current is None:
+            return []
+        return sorted(g.gpu_id for g in current.gpus if not g.is_empty)
+
+    def _fail_one(
+        self,
+        t: float,
+        gpu_id: int,
+        kind: str,
+        event_id: str,
+        work: list[Service],
+        report: OpsReport,
+    ) -> tuple[ReconfigurationCost, int]:
+        result = self.failover.fail_gpu(gpu_id, work)
+        report.failures.append(
+            FailureRecord(
+                time_s=t,
+                gpu_id=gpu_id,
+                kind=kind,
+                event_id=event_id,
+                affected_services=result.affected_services,
+                lost_capacity=sum(result.lost_capacity.values()),
+                replan_work_s=result.cost.total_work_s,
+                max_downtime_s=result.cost.max_downtime_s,
+            )
+        )
+        return result.cost, result.reconfig_ops
+
+    def _apply_gpu_event(
+        self,
+        t: float,
+        e: OpsEvent,
+        work: list[Service],
+        report: OpsReport,
+        pending: list,
+    ) -> tuple[bool, list[ReconfigurationCost], int]:
+        if isinstance(e, GpuRecovery):
+            gid = e.gpu_id if e.gpu_id is not None else self._eid_to_gpu.get(e.ref)
+            if gid is None or gid not in self.failover.failed:
+                return False, [], 0
+            self.failover.restore_gpu(gid)
+            for rec in reversed(report.failures):
+                if rec.gpu_id == gid and rec.restored_at_s is None:
+                    rec.restored_at_s = t
+                    break
+            return True, [], 0
+        if isinstance(e, GpuFailure):
+            if e.gpu_id is not None and e.gpu_id in self.manager.spare_gpus:
+                # Losing a spare tears down nothing: drop it from the
+                # free pool and remember it as failed so it can return.
+                # Still a real GPU loss — record it (zero lost capacity,
+                # zero relocation work) so restores find their failure
+                # and the report's failure tally matches the timeline.
+                geometry = self.manager.spare_gpus.pop(e.gpu_id)
+                self.failover.failed[e.gpu_id] = geometry
+                self._eid_to_gpu[e.event_id] = e.gpu_id
+                report.failures.append(
+                    FailureRecord(
+                        time_s=t,
+                        gpu_id=e.gpu_id,
+                        kind="failure",
+                        event_id=e.event_id,
+                        affected_services=(),
+                        lost_capacity=0.0,
+                        replan_work_s=0.0,
+                        max_downtime_s=0.0,
+                    )
+                )
+                return True, [], 0
+            occupied = self._occupied()
+            if not occupied:
+                return False, [], 0
+            if e.gpu_id is not None:
+                if e.gpu_id not in occupied:
+                    return False, [], 0
+                gid = e.gpu_id
+            else:
+                gid = occupied[int(e.draw * len(occupied))]
+            cost, ops = self._fail_one(t, gid, "failure", e.event_id, work, report)
+            self._eid_to_gpu[e.event_id] = gid
+            return True, [cost], ops
+        if isinstance(e, SpotPreemptionWave):
+            occupied = self._occupied()
+            if not occupied:
+                return False, [], 0
+            count = min(
+                len(occupied), max(1, math.ceil(e.fraction * len(occupied)))
+            )
+            rng = random.Random(f"{self.seed}:{e.event_id}:{e.draw}")
+            victims = sorted(rng.sample(occupied, count))
+            costs: list[ReconfigurationCost] = []
+            ops = 0
+            for gid in victims:
+                if gid not in self._occupied():
+                    # an earlier victim's relocation drained this GPU;
+                    # preempting idle hardware tears down nothing
+                    continue
+                cost, n = self._fail_one(
+                    t, gid, "preemption", f"{e.event_id}/{gid}", work, report
+                )
+                costs.append(cost)
+                ops += n
+                if e.restore_delay_s is not None:
+                    back = t + e.restore_delay_s
+                    if back < report.horizon_s:
+                        ev = GpuRecovery(time_s=back, gpu_id=gid)
+                        heappush(
+                            pending,
+                            (timeline_key(ev), self._pending_seq, ev),
+                        )
+                        self._pending_seq += 1
+            return True, costs, ops
+        raise TypeError(f"not a GPU-level event: {e!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # identity checks & measurement
+    # ------------------------------------------------------------------ #
+
+    def _check_state(self, work: Sequence[Service]) -> None:
+        """The per-interval round-trip + cluster-mirror identity check."""
+        placement = self.manager.current
+        fp = placement.fingerprint()
+        rebuilt = SegmentAllocator(geometry=self.geometry)._to_placement(
+            self.manager.build_states()
+        )
+        rebuilt.framework = placement.framework
+        rebuilt.assign_rates({s.id: s.request_rate for s in work})
+        if rebuilt.fingerprint() != fp:
+            raise OpsIdentityError(
+                "incremental placement does not survive the allocator-state "
+                "round trip (build_states -> _to_placement)"
+            )
+        want = {
+            (s.gpu_id, s.start, s.size, s.owner)
+            for s in placement.to_instance_specs()
+        }
+        have = {
+            (g.gpu_id, inst.start, inst.size, inst.owner or "")
+            for g, inst in self.manager.cluster.instances()
+        }
+        if want != have:
+            raise OpsIdentityError(
+                "live cluster instances do not mirror the deployment map"
+            )
+
+    def _measure(
+        self,
+        record: IntervalRecord,
+        placement: Placement,
+        work: Sequence[Service],
+        measure_s: float,
+        warmup_s: float,
+        sim_seed: int,
+        sim_fast: bool,
+    ) -> None:
+        from repro.sim.runner import simulate_placement
+
+        sim = simulate_placement(
+            placement,
+            work,
+            duration_s=warmup_s + measure_s,
+            warmup_s=warmup_s,
+            seed=sim_seed,
+            fast_path=sim_fast,
+        )
+        record.compliance = sim.overall_compliance
+        record.sim_fingerprint = sim.fingerprint()
+        per = {sid: st.compliance for sid, st in sim.services.items()}
+        record.per_service_compliance = per
+        if per:
+            worst = min(per, key=lambda sid: per[sid])
+            record.worst_service = worst
+            record.worst_service_compliance = per[worst]
+
+
+def assert_reports_identical(fast: OpsReport, naive: OpsReport) -> None:
+    """Raise :class:`OpsIdentityError` unless two replays of one timeline
+    agree on every interval's time, placement fingerprint, and (when
+    measured) simulation stats fingerprint.
+
+    The single definition of the replay identity contract — shared by
+    :func:`run_identity_checked` and the perf harness's recorded runs.
+    """
+    if len(fast.intervals) != len(naive.intervals):
+        raise OpsIdentityError(
+            f"interval counts differ: {len(fast.intervals)} vs "
+            f"{len(naive.intervals)}"
+        )
+    for a, b in zip(fast.intervals, naive.intervals):
+        if a.time_s != b.time_s or a.fingerprint != b.fingerprint:
+            raise OpsIdentityError(
+                f"placement fingerprints diverge at t={a.time_s}"
+            )
+        if a.sim_fingerprint != b.sim_fingerprint:
+            raise OpsIdentityError(
+                f"simulation fingerprints diverge at t={a.time_s}"
+            )
+
+
+def run_identity_checked(
+    services: Sequence[Service],
+    timeline: Iterable[OpsEvent],
+    horizon_s: float,
+    measure_s: float = 0.0,
+    warmup_s: float = 0.1,
+    sim_seed: int = 0,
+    naive_sim: bool = True,
+    **controller_kwargs,
+) -> tuple[OpsReport, OpsReport]:
+    """Replay one timeline on the fast path *and* the naive reference.
+
+    Both controllers consume the identical timeline from scratch; every
+    interval's placement fingerprint — and, when serving is measured, its
+    simulation stats fingerprint — must match exactly, or
+    :class:`OpsIdentityError` is raised.  ``naive_sim=False`` keeps the
+    reference replay on the simulation fast path (the event-driven engine
+    is O(requests) and can dominate large fleets' replay time).
+
+    Returns ``(fast_report, naive_report)``.
+    """
+    timeline = tuple(timeline)
+    fast = FleetController(fast_path=True, **controller_kwargs).run(
+        services, timeline, horizon_s,
+        measure_s=measure_s, warmup_s=warmup_s, sim_seed=sim_seed,
+    )
+    naive = FleetController(fast_path=False, **controller_kwargs).run(
+        services, timeline, horizon_s,
+        measure_s=measure_s, warmup_s=warmup_s, sim_seed=sim_seed,
+        sim_fast_path=None if naive_sim else True,
+    )
+    assert_reports_identical(fast, naive)
+    return fast, naive

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.service import Service
 from repro.scenarios.extended import EXTENDED_SCENARIOS
 from repro.scenarios.fleet import FLEET_SCENARIOS
+from repro.scenarios.ops import OPS_SCENARIOS
 from repro.scenarios.table4 import SCENARIOS as TABLE4_SCENARIOS, Scenario
 
 #: Every registered scenario, Table-IV columns first.
@@ -18,6 +19,7 @@ SCENARIOS: dict[str, Scenario] = {
     **TABLE4_SCENARIOS,
     **EXTENDED_SCENARIOS,
     **FLEET_SCENARIOS,
+    **OPS_SCENARIOS,
 }
 
 SCENARIO_NAMES: tuple[str, ...] = tuple(SCENARIOS)

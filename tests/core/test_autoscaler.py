@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import DeploymentManager, ParvaGPU, Service
 from repro.core.autoscaler import Autoscaler
+from repro.core.hetero import make_mixed_scheduler
 from repro.sim.traces import Epoch, RateTrace, diurnal_trace, surge_trace
 
 
@@ -143,6 +144,76 @@ class TestAutoscaler:
             assert svc.opt_seg is None
             assert svc.num_opt_seg == 0
             assert svc.last_seg is None
+
+    def test_mixed_geometry_fleet(self, profiles):
+        """Autoscaling a heterogeneous (mig + mi300x) deployment.
+
+        The first epoch schedules through HeterogeneousParvaGPU, so the
+        fleet genuinely spans both geometries; subsequent epochs walk the
+        SIII-F incremental path, whose per-GPU states follow each plan's
+        own geometry (re-planned services land on the manager's profile
+        geometry, MIG — untouched MI300X plans keep serving).
+        """
+        # Eq.-2 pool assignment at these SLOs: resnet-50@250ms scores
+        # best on MI300X, mobilenetv2@150ms on MIG — so surging the
+        # mobilenet exercises incremental re-plans on the MIG pool while
+        # the MI300X-resident service keeps serving untouched.
+        services = [
+            Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+            Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+        ]
+        scaler = Autoscaler(profiles, scheduler=make_mixed_scheduler())
+        traces = [
+            surge_trace("b", base_rate=4000, surge_factor=4.0,
+                        surge_start_s=100.0, surge_end_s=200.0),
+        ]
+        report = scaler.run(services, traces)
+        assert len(report.steps) == 3
+        placement = scaler.manager.current
+        placement.validate()
+        assert set(placement.geometries()) == {"mig", "mi300x"}
+        gpus = dict(report.gpu_series())
+        assert gpus[100.0] > gpus[0.0]
+        assert gpus[200.0] < gpus[100.0]
+        for svc in services:
+            capacity = placement.total_capacity(svc.id)
+            assert capacity >= svc.request_rate * (1 - 1e-9), svc.id
+        # the MI300X-resident service was never re-planned: no downtime
+        for step in report.steps[1:]:
+            assert step.cost.downtime_s.get("a", 0.0) == 0.0
+
+    def test_mixed_geometry_untouched_pool_keeps_instances(self, profiles):
+        """An epoch that only moves a MIG service's rate leaves every
+        MI300X instance running (unchanged across the reconfiguration)."""
+        services = [
+            Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+            Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+        ]
+        scaler = Autoscaler(profiles, scheduler=make_mixed_scheduler())
+        traces = [
+            surge_trace("b", base_rate=4000, surge_factor=3.0,
+                        surge_start_s=50.0, surge_end_s=100.0),
+        ]
+        scaler.run(services, traces, horizon_s=60.0)
+        placement = scaler.manager.current
+        amd_plans = [g for g in placement.gpus if g.geometry == "mi300x"]
+        assert amd_plans, "resnet-50 should live on the MI300X pool"
+        assert all(
+            seg.service_id == "a" for g in amd_plans for seg in g.segments
+        )
+
+    def test_mixed_geometry_measured_compliance(self, profiles):
+        """Serving measurement crosses geometries: the simulator consumes
+        the merged heterogeneous placement directly."""
+        services = [
+            Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+            Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+        ]
+        scaler = Autoscaler(profiles, scheduler=make_mixed_scheduler())
+        traces = [diurnal_trace("b", base_rate=4000, amplitude=0.3, epochs=2)]
+        report = scaler.run(services, traces, measure_s=0.4)
+        assert report.mean_compliance is not None
+        assert report.mean_compliance > 0.95
 
     def test_two_runs_from_same_services_agree(self, profiles, services):
         """Reusing one service list for two experiments is now safe."""

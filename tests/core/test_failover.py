@@ -67,6 +67,59 @@ class TestFailover:
         with pytest.raises(ValueError, match=dropped.id):
             ctrl.fail_gpu(0, subset)
 
+    def test_restore_unknown_gpu_rejected(self, profiles, deployed):
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        with pytest.raises(ValueError):
+            ctrl.restore_gpu(0)  # never failed
+
+    def test_restore_registers_spare(self, profiles, deployed):
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        ctrl.fail_gpu(0, services)
+        assert ctrl.failed == {0: "mig"}
+        assert ctrl.restore_gpu(0) == "mig"
+        assert ctrl.failed == {}
+        assert manager.spare_gpus == {0: "mig"}
+        # restoring twice is an error: the GPU is back already
+        with pytest.raises(ValueError):
+            ctrl.restore_gpu(0)
+
+    def test_restored_capacity_visible_to_next_replan(self, profiles, deployed):
+        """A restored GPU rejoins the free pool: the next re-plan drafts it
+        (by its original id) before opening a fresh GPU."""
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        ctrl.fail_gpu(0, services)
+        ctrl.restore_gpu(0)
+        grown = next(s for s in services if s.model == "mobilenetv2")
+        # Grow far past the surviving GPUs' holes so new capacity is needed.
+        new_placement, _ = manager.update_slo(
+            services, grown, new_rate=grown.request_rate * 40
+        )
+        assert not manager.spare_gpus  # the spare was drafted...
+        assert any(  # ...under its original device id
+            g.gpu_id == 0 and not g.is_empty for g in new_placement.gpus
+        )
+
+    def test_failed_gpu_id_reserved_until_restore(self, profiles, deployed):
+        """Regression: growth after failing the highest-id GPU used to hand
+        the dead device's id to a fresh GPU (`next_gpu_id = max + 1`), so
+        a later restore collided with live capacity."""
+        services, placement, manager = deployed
+        ctrl = FailoverController(profiles, manager)
+        victim = max(g.gpu_id for g in manager.current.gpus if not g.is_empty)
+        ctrl.fail_gpu(victim, services)
+        grown = next(s for s in services if s.model == "mobilenetv2")
+        new_placement, _ = manager.update_slo(
+            services, grown, new_rate=grown.request_rate * 8
+        )
+        assert all(
+            g.gpu_id != victim for g in new_placement.gpus if not g.is_empty
+        )
+        ctrl.restore_gpu(victim)  # still restorable: id never reused
+        assert manager.spare_gpus == {victim: "mig"}
+
     def test_sequential_failures_survivable(self, profiles):
         """Losing two GPUs in a row still yields a valid, covering map."""
         services = scenario_services("S4")

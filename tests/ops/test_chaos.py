@@ -1,0 +1,123 @@
+"""Chaos generators: determinism and structural guarantees."""
+
+import pytest
+
+from repro.ops.chaos import (
+    flash_crowds,
+    mtbf_failures,
+    rate_epochs,
+    slo_renegotiations,
+    spot_preemption_waves,
+    tenant_churn,
+)
+from repro.ops.events import GpuFailure, GpuRecovery, ServiceArrival
+from repro.sim.traces import diurnal_trace
+
+
+class TestDeterminism:
+    """Every generator is a pure function of its arguments."""
+
+    def test_mtbf_reproducible(self):
+        a = mtbf_failures(horizon_s=10_000, mtbf_s=1000, seed=42, repair_s=500)
+        b = mtbf_failures(horizon_s=10_000, mtbf_s=1000, seed=42, repair_s=500)
+        assert a == b
+
+    def test_mtbf_seed_changes_stream(self):
+        a = mtbf_failures(horizon_s=10_000, mtbf_s=1000, seed=1)
+        b = mtbf_failures(horizon_s=10_000, mtbf_s=1000, seed=2)
+        assert a != b
+
+    def test_churn_reproducible(self):
+        kw = dict(horizon_s=5000, arrivals=5, departures=3, seed=9,
+                  base_ids=("x", "y"))
+        assert tenant_churn(**kw) == tenant_churn(**kw)
+
+    def test_waves_reproducible(self):
+        kw = dict(horizon_s=20_000, every_s=3000, fraction=0.1, seed=5,
+                  restore_delay_s=600)
+        assert spot_preemption_waves(**kw) == spot_preemption_waves(**kw)
+
+
+class TestMtbf:
+    def test_repairs_reference_their_failure(self):
+        events = mtbf_failures(horizon_s=20_000, mtbf_s=2000, seed=0,
+                               repair_s=900)
+        failures = {e.event_id for e in events if isinstance(e, GpuFailure)}
+        recoveries = [e for e in events if isinstance(e, GpuRecovery)]
+        assert recoveries  # the horizon comfortably fits repairs
+        for r in recoveries:
+            assert r.ref in failures
+
+    def test_no_repair_past_horizon(self):
+        events = mtbf_failures(horizon_s=1000, mtbf_s=300, seed=0, repair_s=5000)
+        assert not any(isinstance(e, GpuRecovery) for e in events)
+
+    def test_all_within_horizon(self):
+        events = mtbf_failures(horizon_s=5000, mtbf_s=100, seed=0, repair_s=50)
+        assert all(e.time_s < 5000 for e in events)
+
+
+class TestChurn:
+    def test_departures_only_hit_known_pool(self):
+        events = tenant_churn(horizon_s=10_000, arrivals=4, departures=6,
+                              seed=3, base_ids=("base-0",))
+        known = {"base-0"}
+        for e in events:
+            if isinstance(e, ServiceArrival):
+                known.add(e.service_id)
+            else:
+                assert e.service_id in known
+                known.discard(e.service_id)
+
+    def test_departures_without_pool_are_dropped(self):
+        events = tenant_churn(horizon_s=100, arrivals=0, departures=5, seed=1)
+        assert events == ()
+
+    def test_arrivals_resample_table_iv(self):
+        from repro.models.zoo import get_model
+
+        events = tenant_churn(horizon_s=100, arrivals=8, departures=0, seed=2)
+        assert len(events) == 8
+        for e in events:
+            get_model(e.model)  # raises on unknown models
+            assert e.request_rate > 0 and e.slo_latency_ms > 0
+
+
+class TestRates:
+    def test_rate_epochs_bridge_traces(self):
+        trace = diurnal_trace("svc", base_rate=100.0, epochs=6, period_s=600)
+        events = rate_epochs([trace])
+        assert len(events) == 6
+        assert {e.service_id for e in events} == {"svc"}
+        assert [e.rate for e in events] == [ep.rate for ep in trace.epochs]
+
+    def test_rate_epochs_horizon_cut(self):
+        trace = diurnal_trace("svc", base_rate=100.0, epochs=6, period_s=600)
+        events = rate_epochs([trace], horizon_s=300.0)
+        assert all(e.time_s < 300.0 for e in events)
+        assert len(events) == 3
+
+    def test_flash_crowds_spike_and_revert(self):
+        trace = diurnal_trace("svc", base_rate=100.0, epochs=4, period_s=10_000)
+        events = flash_crowds([trace], horizon_s=10_000, num_crowds=3, seed=8)
+        assert len(events) == 6  # spike + revert per crowd
+        for spike, revert in zip(events[0::2], events[1::2]):
+            assert spike.time_s < revert.time_s
+            assert spike.rate > trace.rate_at(spike.time_s) * 1.5
+            assert revert.rate == trace.rate_at(revert.time_s)
+
+
+class TestSloRenegotiations:
+    def test_relax_then_revert(self):
+        pairs = slo_renegotiations([("a", 200.0)], horizon_s=10_000,
+                                   count=2, seed=4)
+        assert len(pairs) == 4
+        for relax, revert in zip(pairs[0::2], pairs[1::2]):
+            assert relax.time_s < revert.time_s
+            assert relax.slo_latency_ms >= 200.0
+            assert revert.slo_latency_ms == 200.0
+
+    def test_tightening_rejected(self):
+        with pytest.raises(ValueError):
+            slo_renegotiations([("a", 200.0)], horizon_s=100, count=1,
+                               seed=0, relax_range=(0.5, 0.9))

@@ -1,0 +1,93 @@
+"""Event model: validation and the deterministic timeline order."""
+
+import pytest
+
+from repro.ops.events import (
+    GpuFailure,
+    GpuRecovery,
+    RateEpoch,
+    ServiceArrival,
+    ServiceDeparture,
+    SloChange,
+    SpotPreemptionWave,
+    merge_timeline,
+    timeline_key,
+)
+
+
+class TestValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RateEpoch(time_s=-1.0, service_id="a", rate=10.0)
+
+    def test_rate_epoch_needs_service(self):
+        with pytest.raises(ValueError):
+            RateEpoch(time_s=0.0, service_id="", rate=10.0)
+
+    def test_arrival_needs_positive_load(self):
+        with pytest.raises(ValueError):
+            ServiceArrival(
+                time_s=0.0, service_id="t", model="resnet-50",
+                request_rate=0.0, slo_latency_ms=100.0,
+            )
+
+    def test_failure_draw_bounds(self):
+        with pytest.raises(ValueError):
+            GpuFailure(time_s=0.0, event_id="f0", draw=1.0)
+
+    def test_recovery_needs_target(self):
+        with pytest.raises(ValueError):
+            GpuRecovery(time_s=0.0)
+
+    def test_wave_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            SpotPreemptionWave(time_s=0.0, event_id="w", fraction=0.0)
+
+
+class TestOrdering:
+    def test_time_dominates(self):
+        a = RateEpoch(time_s=5.0, service_id="a", rate=1.0)
+        b = GpuFailure(time_s=1.0, event_id="f", draw=0.5)
+        assert merge_timeline([a], [b]) == (b, a)
+
+    def test_same_instant_priority_order(self):
+        """Departures free capacity before arrivals; service-level changes
+        land before GPU-level disturbances; recoveries before failures."""
+        t = 10.0
+        events = [
+            SpotPreemptionWave(time_s=t, event_id="w", fraction=0.5),
+            GpuFailure(time_s=t, event_id="f", draw=0.1),
+            GpuRecovery(time_s=t, ref="f-1"),
+            RateEpoch(time_s=t, service_id="a", rate=5.0),
+            SloChange(time_s=t, service_id="a", slo_latency_ms=100.0),
+            ServiceArrival(
+                time_s=t, service_id="n", model="resnet-50",
+                request_rate=10.0, slo_latency_ms=200.0,
+            ),
+            ServiceDeparture(time_s=t, service_id="d"),
+        ]
+        merged = merge_timeline(events)
+        kinds = [e.kind for e in merged]
+        assert kinds == [
+            "ServiceDeparture",
+            "ServiceArrival",
+            "SloChange",
+            "RateEpoch",
+            "GpuRecovery",
+            "GpuFailure",
+            "SpotPreemptionWave",
+        ]
+
+    def test_same_type_ties_break_on_token(self):
+        a = RateEpoch(time_s=1.0, service_id="b", rate=1.0)
+        b = RateEpoch(time_s=1.0, service_id="a", rate=2.0)
+        assert merge_timeline([a, b]) == (b, a)
+
+    def test_key_is_total_and_stable(self):
+        events = [
+            GpuFailure(time_s=2.0, event_id=f"f-{i}", draw=0.0)
+            for i in reversed(range(5))
+        ]
+        merged = merge_timeline(events)
+        assert [e.event_id for e in merged] == [f"f-{i}" for i in range(5)]
+        assert sorted(merged, key=timeline_key) == list(merged)

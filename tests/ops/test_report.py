@@ -1,0 +1,95 @@
+"""OpsReport aggregation math (no scheduler involved)."""
+
+import pytest
+
+from repro.ops.report import FailureRecord, IntervalRecord, OpsReport
+
+
+def interval(t, dur, gpus, compliance=None, per=None, **kw):
+    defaults = dict(
+        path="incremental", events={}, skipped=0, services=2,
+        spare_gpus=0, reconfig_ops=0, reconfig_work_s=0.0,
+        max_downtime_s=0.0, downtime_total_s=0.0, zero_downtime=True,
+    )
+    defaults.update(kw)
+    return IntervalRecord(
+        time_s=t, duration_s=dur, num_gpus=gpus, compliance=compliance,
+        per_service_compliance=per or {}, **defaults,
+    )
+
+
+class TestAggregates:
+    def test_gpu_hours(self):
+        report = OpsReport(horizon_s=7200.0)
+        report.intervals = [interval(0.0, 3600.0, 10), interval(3600.0, 3600.0, 20)]
+        assert report.gpu_hours == pytest.approx(30.0)
+        assert report.peak_gpus == 20
+
+    def test_mean_compliance_duration_weighted(self):
+        report = OpsReport(horizon_s=100.0)
+        report.intervals = [
+            interval(0.0, 90.0, 5, compliance=1.0),
+            interval(90.0, 10.0, 5, compliance=0.0),
+            interval(100.0, 50.0, 5),  # unmeasured: excluded
+        ]
+        assert report.mean_compliance == pytest.approx(0.9)
+        assert report.min_compliance == 0.0
+        assert report.compliance_series() == [(0.0, 1.0), (90.0, 0.0)]
+
+    def test_no_measurement_means_none(self):
+        report = OpsReport(horizon_s=10.0)
+        report.intervals = [interval(0.0, 10.0, 1)]
+        assert report.mean_compliance is None
+        assert report.min_compliance is None
+
+    def test_downtime_only_counts_unshadowed(self):
+        report = OpsReport(horizon_s=10.0)
+        report.intervals = [
+            interval(0.0, 5.0, 1, downtime_total_s=4.0, zero_downtime=True),
+            interval(5.0, 5.0, 1, downtime_total_s=3.0, zero_downtime=False),
+        ]
+        assert report.total_downtime_s == 3.0
+
+
+class TestAttainment:
+    def test_per_tenant_lifetime(self):
+        report = OpsReport(horizon_s=30.0)
+        report.intervals = [
+            interval(0.0, 10.0, 1, compliance=1.0,
+                     per={"a": 1.0, "b": 0.5}),
+            interval(10.0, 10.0, 1, compliance=1.0,
+                     per={"a": 0.98, "b": 1.0, "late": 1.0}),
+        ]
+        att = report.slo_attainment(target=0.99)
+        assert att == {"a": 0.5, "b": 0.5, "late": 1.0}
+
+    def test_doc_summarizes_worst_tenants(self):
+        report = OpsReport(horizon_s=10.0)
+        report.intervals = [
+            interval(0.0, 10.0, 2, compliance=0.9,
+                     per={"good": 1.0, "bad": 0.2}),
+        ]
+        doc = report.to_doc(attainment_target=0.99)
+        assert doc["tenants_measured"] == 2
+        assert doc["tenants_attaining"] == 1
+        assert doc["worst_tenants"][0]["service"] == "bad"
+
+
+class TestFailures:
+    def test_time_to_restore(self):
+        report = OpsReport(horizon_s=100.0)
+        report.failures = [
+            FailureRecord(time_s=10.0, gpu_id=3, kind="failure",
+                          event_id="f0", affected_services=("a",),
+                          lost_capacity=100.0, replan_work_s=2.0,
+                          max_downtime_s=1.0, restored_at_s=40.0),
+            FailureRecord(time_s=20.0, gpu_id=4, kind="preemption",
+                          event_id="w0/4", affected_services=("b",),
+                          lost_capacity=50.0, replan_work_s=1.0,
+                          max_downtime_s=0.5),
+        ]
+        assert report.restored_count == 1
+        assert report.mean_time_to_restore_s == 30.0
+        docs = [f.to_doc() for f in report.failures]
+        assert docs[0]["time_to_restore_s"] == 30.0
+        assert docs[1]["time_to_restore_s"] is None

@@ -1,0 +1,87 @@
+"""S12-S14 and the ops bench run: registration and determinism."""
+
+import pytest
+
+from repro.ops.events import (
+    GpuFailure,
+    RateEpoch,
+    ServiceArrival,
+    SloChange,
+    SpotPreemptionWave,
+)
+from repro.scenarios import get_scenario, scenario_services
+from repro.scenarios.ops import (
+    OPS_SCENARIO_NAMES,
+    bench_ops_run,
+    ops_run,
+)
+
+
+class TestRegistration:
+    def test_registered_in_registry(self):
+        for name in OPS_SCENARIO_NAMES:
+            sc = get_scenario(name)
+            services = scenario_services(sc)
+            assert len(services) == len(sc.loads)
+            assert len({s.id for s in services}) == len(services)
+
+    def test_unknown_run_rejected(self):
+        with pytest.raises(KeyError):
+            ops_run("S99")
+
+    def test_run_services_match_registry(self):
+        run = ops_run("S12")
+        assert [s.id for s in run.services] == [
+            s.id for s in scenario_services("S12")
+        ]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", OPS_SCENARIO_NAMES)
+    def test_runs_reproducible(self, name):
+        a, b = ops_run(name), ops_run(name)
+        assert a.timeline == b.timeline
+        assert [s.id for s in a.services] == [s.id for s in b.services]
+
+    def test_seed_changes_timeline(self):
+        assert ops_run("S12", seed=1).timeline != ops_run("S12", seed=2).timeline
+
+
+class TestShapes:
+    def test_s12_is_churn_and_renegotiation(self):
+        run = ops_run("S12")
+        kinds = {e.kind for e in run.timeline}
+        assert "ServiceArrival" in kinds and "ServiceDeparture" in kinds
+        assert "SloChange" in kinds
+        assert not any(isinstance(e, GpuFailure) for e in run.timeline)
+
+    def test_s13_is_diurnal_plus_chaos(self):
+        run = ops_run("S13")
+        kinds = {e.kind for e in run.timeline}
+        assert {"RateEpoch", "GpuFailure", "GpuRecovery",
+                "SpotPreemptionWave"} <= kinds
+        rate_events = sum(isinstance(e, RateEpoch) for e in run.timeline)
+        assert rate_events >= 14 * len(run.services)  # diurnal epochs
+
+    def test_s14_is_preemption_waves(self):
+        run = ops_run("S14")
+        assert all(isinstance(e, SpotPreemptionWave) for e in run.timeline)
+        assert all(e.restore_delay_s is not None for e in run.timeline)
+        assert len(run.timeline) >= 4
+
+    def test_bench_run_meets_acceptance_shape(self):
+        """The recorded BENCH_ops tier: >=20 events mixing failures,
+        preemptions, and churn, at any fleet size."""
+        run = bench_ops_run(100)
+        assert run.num_events >= 20
+        kinds = {e.kind for e in run.timeline}
+        assert {"GpuFailure", "SpotPreemptionWave", "ServiceArrival",
+                "ServiceDeparture"} <= kinds
+        big = bench_ops_run(1000)
+        assert len(big.services) == 1000
+        # draw-resolved GPU events: the same disturbance schedule scales
+        # across tiers (victims resolve against each tier's own fleet)
+        assert [e.kind for e in big.timeline] == [e.kind for e in run.timeline]
+
+    def test_bench_run_reproducible(self):
+        assert bench_ops_run(200).timeline == bench_ops_run(200).timeline

@@ -46,6 +46,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SLO compliance" in out
 
+    def test_scenarios_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("S1", "S6", "S9", "S12", "S13", "S14"):
+            assert f"\n{name} " in out or out.startswith(f"{name} ")
+        assert "mig,mi300x,mixed" in out
+
+    def test_ops_runs_truncated_s12(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--horizon", "3000",
+                  "--measure", "0.1"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "S12: 100 services" in out
+        assert "identity: state round-trip" in out
+        assert "compliance: mean" in out
+
+    def test_ops_unknown_scenario(self, capsys):
+        assert main(["ops", "--scenario", "s99"]) == 2
+        assert "unknown ops scenario" in capsys.readouterr().err
+
+    def test_ops_bad_horizon_is_clean_error(self, capsys):
+        assert main(["ops", "--scenario", "s12", "--horizon", "0"]) == 2
+        assert "horizon must be positive" in capsys.readouterr().err
+
+    def test_ops_engine_conflicts_with_verify(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--engine", "naive",
+                  "--verify"]) == 2
+        )
+        assert "--engine cannot be combined" in capsys.readouterr().err
+
+    def test_ops_verify_replays_naive(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s14", "--horizon", "7500",
+                  "--measure", "0.1", "--verify"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fast-vs-naive replay" in out
+
     def test_experiment_module_main(self, capsys):
         from repro.experiments.__main__ import main as exp_main
 
