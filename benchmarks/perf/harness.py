@@ -100,10 +100,17 @@ SIM_WARMUP_S = 0.25
 
 #: The ops suite's sweep: the FleetController is MIG-only here (one
 #: geometry per controller), so tiers vary the fleet size only; every
-#: interval is served for OPS_MEASURE_S simulated seconds.
-OPS_TIERS = (100, 1000)
+#: interval is served for OPS_MEASURE_S simulated seconds.  The 10_000
+#: tier replays the S15 chaos week (``ops_run("S15")``) instead of the
+#: synthetic one-day bench and serves each interval for OPS_MEASURE_10K
+#: simulated seconds — long enough that serving measurement (the stage
+#: the sharded control plane accelerates) dominates the replay, which is
+#: exactly the regime the 10k fleet operates in.
+OPS_TIERS = (100, 1000, 10_000)
 OPS_MEASURE_S = 0.25
+OPS_MEASURE_10K = 6.0
 OPS_WARMUP_S = 0.1
+OPS_WORKERS = 2
 
 
 def _make_scheduler(geometry: str, fast_path: bool):
@@ -323,25 +330,38 @@ def run_million_request_replay():
     return row
 
 
-def run_ops_sweep(tiers, naive_cap, measure_s=OPS_MEASURE_S):
-    """The ops tiers: a simulated day of fleet operations per fleet size.
+def run_ops_sweep(tiers, naive_cap, measure_s=None, workers=OPS_WORKERS):
+    """The ops tiers: a simulated day of fleet operations per fleet size
+    (the 10_000 tier replays the S15 chaos week instead).
 
     Every recorded fast/naive pair must agree on *every* interval's
     placement fingerprint and simulation stats fingerprint — the
     closed-loop analogue of the schedule and simulate identity checks.
+    With ``workers > 0`` every tier is additionally replayed through the
+    sharded parallel control plane and checked interval-for-interval
+    against the serial fast replay; any divergence is fatal.  At tiers
+    past ``naive_cap`` (where the naive replay is skipped) this
+    parallel-vs-serial identity is the recorded correctness check.
     """
     from repro.ops import FleetController, OpsIdentityError
     from repro.ops.controller import assert_reports_identical
-    from repro.scenarios.ops import OPS_SEED, bench_ops_run
+    from repro.scenarios.ops import OPS_SEED, bench_ops_run, ops_run
 
-    def replay(run, fast_path):
-        ctrl = FleetController(fast_path=fast_path, seed=OPS_SEED)
+    def tier_run(tier):
+        if tier >= 10_000:
+            return ops_run("S15")
+        return bench_ops_run(tier)
+
+    def replay(run, fast_path, measure, workers=0):
+        ctrl = FleetController(
+            fast_path=fast_path, seed=OPS_SEED, workers=workers
+        )
         t0 = time.perf_counter()
         report = ctrl.run(
             run.services,
             run.timeline,
             run.horizon_s,
-            measure_s=measure_s,
+            measure_s=measure,
             warmup_s=OPS_WARMUP_S,
             sim_seed=OPS_SEED,
         )
@@ -349,13 +369,18 @@ def run_ops_sweep(tiers, naive_cap, measure_s=OPS_MEASURE_S):
 
     rows = []
     for tier in tiers:
-        run = bench_ops_run(tier)
-        fast, fast_wall = replay(run, fast_path=True)
+        run = tier_run(tier)
+        measure = measure_s
+        if measure is None:
+            measure = OPS_MEASURE_10K if tier >= 10_000 else OPS_MEASURE_S
+        fast, fast_wall = replay(run, fast_path=True, measure=measure)
         attainment = fast.slo_attainment(target=0.99)
         row = {
             "scenario": "OPS",
             "tier": tier,
             "geometry": "mig",
+            "run": run.name,
+            "measure_s": measure,
             "services": len(run.services),
             "timeline_events": run.num_events,
             "intervals": len(fast.intervals),
@@ -386,10 +411,29 @@ def run_ops_sweep(tiers, naive_cap, measure_s=OPS_MEASURE_S):
             "naive_wall_s": None,
             "speedup": None,
             "identical": None,
+            "parallel_wall_s": None,
+            "parallel_workers": None,
+            "parallel_speedup": None,
+            "parallel_identical": None,
             "report": fast.to_doc(),
         }
+        if workers > 0:
+            par, par_wall = replay(
+                run, fast_path=True, measure=measure, workers=workers
+            )
+            row["parallel_wall_s"] = round(par_wall, 6)
+            row["parallel_workers"] = workers
+            row["parallel_speedup"] = round(fast_wall / par_wall, 2)
+            try:
+                assert_reports_identical(par, fast)
+            except OpsIdentityError as exc:
+                raise SystemExit(
+                    f"FATAL: sharded (x{workers}) and serial ops replays "
+                    f"differ for {tier} services: {exc}"
+                )
+            row["parallel_identical"] = True
         if tier <= naive_cap:
-            naive, naive_wall = replay(run, fast_path=False)
+            naive, naive_wall = replay(run, fast_path=False, measure=measure)
             row["naive_wall_s"] = round(naive_wall, 6)
             row["speedup"] = round(naive_wall / fast_wall, 2)
             try:
@@ -404,6 +448,12 @@ def run_ops_sweep(tiers, naive_cap, measure_s=OPS_MEASURE_S):
         speedup = (
             f"{row['speedup']}x vs naive" if row["speedup"] else "naive skipped"
         )
+        parallel = (
+            f"sharded x{workers} {row['parallel_wall_s']:.2f} s, "
+            f"{row['parallel_speedup']}x, identical;  "
+            if row["parallel_identical"]
+            else ""
+        )
         compliance = (
             f"compliance {100 * row['mean_compliance']:6.2f}%  "
             if row["mean_compliance"] is not None
@@ -412,7 +462,7 @@ def run_ops_sweep(tiers, naive_cap, measure_s=OPS_MEASURE_S):
         print(
             f"  OPS n={tier:<5} {row['fast_wall_s']:8.2f} s  "
             f"{row['intervals']:>3} intervals  {row['failures']:>3} failures "
-            f"({row['restored']} restored)  {compliance}({speedup})"
+            f"({row['restored']} restored)  {compliance}({parallel}{speedup})"
         )
     return rows
 
@@ -513,9 +563,14 @@ def main(argv=None):
         "simulate suite (default: %(default)s)",
     )
     parser.add_argument(
-        "--ops-measure", type=float, default=OPS_MEASURE_S,
-        help="seconds of serving simulated per ops interval "
-        "(default: %(default)s)",
+        "--ops-measure", type=float, default=None,
+        help="seconds of serving simulated per ops interval (default: "
+        f"{OPS_MEASURE_S} per tier, {OPS_MEASURE_10K} at the 10k tier)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=OPS_WORKERS,
+        help="shard count for the parallel ops replay recorded next to "
+        "the serial one (0 disables it; default: %(default)s)",
     )
     args = parser.parse_args(argv)
 
@@ -563,11 +618,23 @@ def main(argv=None):
         )
         section, field = "fleets", "indexed_wall_s"
     elif args.suite == "ops":
-        print(
-            f"ops sweep: tiers={tiers} measure={args.ops_measure}s "
-            f"(one simulated day of failures + preemptions + churn each)"
+        measure = (
+            f"{args.ops_measure}s"
+            if args.ops_measure is not None
+            else f"{OPS_MEASURE_S}s ({OPS_MEASURE_10K}s at 10k)"
         )
-        rows = run_ops_sweep(tiers, args.naive_cap, measure_s=args.ops_measure)
+        print(
+            f"ops sweep: tiers={tiers} measure={measure} "
+            f"workers={args.workers} (a simulated day of failures + "
+            f"preemptions + churn each; the 10k tier replays the S15 "
+            f"chaos week)"
+        )
+        rows = run_ops_sweep(
+            tiers,
+            args.naive_cap,
+            measure_s=args.ops_measure,
+            workers=args.workers,
+        )
         doc["ops"] = rows
         section, field = "ops", "fast_wall_s"
     else:

@@ -161,6 +161,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.workers and args.engine != "fast":
+        print("error: --workers requires the fast engine", file=sys.stderr)
+        return 2
     try:
         services, placement = _schedule(args)
     except (InfeasibleScheduleError, InfeasibleServiceError) as exc:
@@ -176,6 +179,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         arrivals=args.arrivals,
         fast_path=args.engine == "fast",
+        workers=args.workers,
     )
     unit = "steps" if args.engine == "fast" else "events"
     print(
@@ -261,6 +265,10 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         print("error: --engine cannot be combined with --verify "
               "(the verification replay runs both engines)", file=sys.stderr)
         return 2
+    if args.workers and args.engine != "fast":
+        print("error: --workers requires the fast engine (the naive "
+              "reference stays serial)", file=sys.stderr)
+        return 2
     seed = args.seed if args.seed is not None else OPS_SEED
     try:
         run = ops_run(args.scenario, seed=seed)
@@ -275,11 +283,12 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         if args.verify:
             report, _ = run_identity_checked(
                 run.services, run.timeline, horizon,
-                seed=seed, **kwargs,
+                seed=seed, workers=args.workers, **kwargs,
             )
         else:
             ctrl = FleetController(
-                fast_path=args.engine == "fast", seed=seed
+                fast_path=args.engine == "fast", seed=seed,
+                workers=args.workers,
             )
             report = ctrl.run(run.services, run.timeline, horizon, **kwargs)
     except OpsIdentityError as exc:
@@ -292,9 +301,12 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         return 2
 
     timeline_events = sum(1 for e in run.timeline if e.time_s < horizon)
+    sharding = (
+        f", sharded control plane x{report.workers}" if report.workers else ""
+    )
     print(
         f"{run.name}: {len(run.services)} services, "
-        f"{timeline_events} timeline events over {horizon:g} s"
+        f"{timeline_events} timeline events over {horizon:g} s{sharding}"
     )
     for r in report.intervals:
         events = " ".join(f"{k}x{v}" for k, v in sorted(r.events.items()))
@@ -411,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the identical timeline on the naive reference and "
         "assert per-interval fingerprint identity",
     )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the per-interval serving measurement (and replan "
+        "triplet scoring) across N parallel workers; results are "
+        "bit-identical to the serial path (default: 0 = serial)",
+    )
     p.set_defaults(func=_cmd_ops)
 
     p = sub.add_parser("simulate", help="simulate serving a scenario")
@@ -425,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="simulation engine: the batch-granularity fast path (default) "
         "or the per-request discrete-event reference",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="shard segment simulation across N parallel workers "
+        "(fast engine only; bit-identical to serial; default: 0)",
     )
     _add_geometry_flag(p)
     p.set_defaults(func=_cmd_simulate)

@@ -19,8 +19,7 @@ how heterogeneous placements keep A100 and MI300X devices apart.
 
 from __future__ import annotations
 
-import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Literal, Optional
 
 from repro.gpu.geometry import PartitionLayout, get_geometry
@@ -87,7 +86,17 @@ class PlacedSegment:
         return min(1.0, self.served_rate / self.capacity)
 
     def with_served_rate(self, rate: float) -> "PlacedSegment":
-        return replace(self, served_rate=rate)
+        # __dict__-level clone: assign_rates calls this once per segment
+        # per re-plan, and both dataclasses.replace() and the generated
+        # frozen __init__ (object.__setattr__ per field + __post_init__
+        # revalidation of fields that cannot have changed) are measurable
+        # at fleet scale.  served_rate is the only field that differs and
+        # __post_init__ never constrains it.
+        clone = object.__new__(PlacedSegment)
+        d = clone.__dict__
+        d.update(self.__dict__)
+        d["served_rate"] = rate
+        return clone
 
 
 @dataclass
@@ -211,16 +220,27 @@ class Placement:
         so two schedulers that produce the same map — e.g. the indexed
         and naive allocator paths — fingerprint identically.
         """
-        doc = [
-            {
-                "gpu": g.gpu_id,
-                "geometry": g.geometry,
-                "segments": [asdict(s) for s in g.segments],
-            }
+        # Direct f-string rendering instead of json.dumps over per-segment
+        # dicts: fingerprints are only ever *compared*, never parsed, and
+        # JSON encoding dominated fleet-scale identity checking (several
+        # fingerprints per ops interval at 10k services).  Floats render
+        # via repr, so distinct values never collide.
+        if len(PlacedSegment.__dataclass_fields__) != 12:
+            raise AssertionError(
+                "PlacedSegment grew a field; extend fingerprint() to cover it"
+            )
+        return "\n".join(
+            f"{g.gpu_id}|{g.geometry}"
+            + "".join(
+                f";{s.service_id},{s.model},{s.kind},{s.gpcs!r},"
+                f"{s.batch_size},{s.num_processes},{s.capacity!r},"
+                f"{s.latency_ms!r},{s.sm_activity!r},{s.start},"
+                f"{s.served_rate!r},{s.geometry}"
+                for s in g.segments
+            )
             for g in self.gpus
             if not g.is_empty
-        ]
-        return json.dumps(doc, sort_keys=True)
+        )
 
     # ------------------------------------------------------------------ #
     # traffic assignment
@@ -253,7 +273,9 @@ class Placement:
                 total = sum(g.segments[i].capacity for g, i in refs)
                 for g, i in refs:
                     s = g.segments[i]
-                    g.segments[i] = s.with_served_rate(rate * s.capacity / total)
+                    share = rate * s.capacity / total
+                    if s.served_rate != share:  # skip the no-op copy
+                        g.segments[i] = s.with_served_rate(share)
             elif policy == "fill":
                 refs.sort(
                     key=lambda ref: ref[0].segments[ref[1]].capacity

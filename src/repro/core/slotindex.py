@@ -73,16 +73,21 @@ class SlotIndex:
     def touch(self, pos: int) -> None:
         """Re-register ``pos`` after its free capacity may have *grown*.
 
-        Pushes the position into every key the GPU currently qualifies
-        for (its own geometry only).  Idempotent; shrinking events need no
-        call — stale entries are discarded lazily at query time.
+        Pushes the position into every key of the GPU's own geometry
+        *without* probing feasibility: candidates are a superset, and
+        ``first_candidate`` validates (and lazily discards) them at query
+        time anyway.  Probing here would cost O(sizes x slots) per GPU on
+        every index build — most of which pays for keys the allocation
+        never queries (a failover replan only places the victim's sizes).
+        Idempotent; shrinking events need no call.
         """
         state = self._gpus[pos]
+        if state.blocked:  # retired id sentinels never host anything
+            return
         geometry = state.geometry
         for size in geometry.instance_sizes:
             for fallback in (False, True):
-                if state.has_free_slot(size, fallback=fallback):
-                    self._push((geometry.name, size, fallback), pos)
+                self._push((geometry.name, size, fallback), pos)
 
     def rebuild(self) -> None:
         """Drop everything and re-index the whole list from scratch."""

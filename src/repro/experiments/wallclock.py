@@ -1,0 +1,57 @@
+"""Gated wall-clock assertions for timing-sensitive benchmark checks.
+
+Wall-clock comparisons (Figure 9's framework-delay orderings, and any
+future timing bound) are correct on a quiet machine but inherently flaky
+under CI load: a background process can swing a sub-millisecond median
+past any fixed tolerance.  Instead of choosing between deleting the
+check and living with flakes, the bound is *gated*:
+
+- by default a violated bound emits a :class:`WallClockWarning` — the
+  run stays green, the violation is visible in the warning summary;
+- with ``REPRO_STRICT_WALL_CLOCK`` set (non-empty) in the environment —
+  a quiet benchmarking box, or a CI lane dedicated to timing — the same
+  violation raises ``AssertionError`` exactly like a plain ``assert``.
+
+Correctness checks (placement identity, compliance, fingerprints) must
+never go through this gate; they are load-independent and always hard.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Mapping, Optional
+
+#: Environment variable that turns gated wall-clock bounds into hard
+#: assertions.  Any non-empty value counts.
+STRICT_ENV = "REPRO_STRICT_WALL_CLOCK"
+
+
+class WallClockWarning(UserWarning):
+    """A timing bound was violated on a possibly-loaded machine."""
+
+
+def strict_wall_clock(env: Optional[Mapping[str, str]] = None) -> bool:
+    """Whether wall-clock bounds are currently hard (``STRICT_ENV`` set)."""
+    source = os.environ if env is None else env
+    return bool(source.get(STRICT_ENV))
+
+
+def wall_clock_assert(
+    condition: bool,
+    message: str,
+    env: Optional[Mapping[str, str]] = None,
+) -> bool:
+    """Assert a timing bound, honoring the strictness gate.
+
+    Returns ``True`` when the bound holds.  When it does not: raises
+    ``AssertionError`` under ``REPRO_STRICT_WALL_CLOCK``, otherwise emits
+    a :class:`WallClockWarning` (with ``stacklevel=2``, so the warning
+    points at the benchmark's own line) and returns ``False``.
+    """
+    if condition:
+        return True
+    if strict_wall_clock(env):
+        raise AssertionError(message)
+    warnings.warn(WallClockWarning(message), stacklevel=2)
+    return False

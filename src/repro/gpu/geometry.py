@@ -77,6 +77,34 @@ class PartitionGeometry:
                 raise ValueError(
                     f"{self.name}: tables must cover sizes {self.instance_sizes}"
                 )
+        # Every legal (size, start) pair's occupied+blocked mask, computed
+        # once: occupied_mask sits in the allocator's innermost feasibility
+        # probe (can_add), where recomputing range/blocked unions per call
+        # dominates fleet-scale scans.  The canonical subset gets its own
+        # table so ``can_add(extended=False)`` is the same single dict
+        # probe (a miss doubles as the legality answer), and every legal
+        # pair gets one shared frozen PlacedPartition so ``place`` at
+        # fleet scale stops allocating millions of identical instances.
+        masks: dict[tuple[int, int], int] = {}
+        for size in self.instance_sizes:
+            for start in self.extended_starts[size]:
+                base = range_mask(start, size, num_slices=self.num_slices)
+                masks[(size, start)] = base | self.blocked_extra.get(
+                    (size, start), 0
+                )
+        object.__setattr__(self, "_occupied_masks", masks)
+        canonical = {
+            (size, start): masks[(size, start)]
+            for size in self.instance_sizes
+            for start in self.canonical_starts[size]
+            if (size, start) in masks
+        }
+        object.__setattr__(self, "_canonical_masks", canonical)
+        placed = {
+            (size, start): PlacedPartition(size=size, start=start, geometry=self)
+            for (size, start) in masks
+        }
+        object.__setattr__(self, "_placed", placed)
 
     # ------------------------------------------------------------------ #
     # structure
@@ -111,6 +139,11 @@ class PartitionGeometry:
 
     def occupied_mask(self, size: int, start: int) -> int:
         """Slice bitmask an instance *occupies plus blocks* at ``start``."""
+        mask = self._occupied_masks.get((size, start))
+        if mask is not None:
+            return mask
+        # illegal (size, start) pairs fall back to the direct computation
+        # so diagnostic callers still get a well-defined answer
         base = range_mask(start, size, num_slices=self.num_slices)
         return base | self.blocked_extra.get((size, start), 0)
 
@@ -122,7 +155,14 @@ class PartitionGeometry:
         return all(s == size for s in existing_sizes)
 
     def place(self, size: int, start: int) -> "PlacedPartition":
-        """Validated placement of one instance (geometry-bound)."""
+        """Validated placement of one instance (geometry-bound).
+
+        Returns the shared frozen instance for legal pairs; illegal pairs
+        fall through to direct construction for its validation error.
+        """
+        inst = self._placed.get((size, start))
+        if inst is not None:
+            return inst
         return PlacedPartition(size=size, start=start, geometry=self)
 
     # ------------------------------------------------------------------ #
@@ -219,8 +259,13 @@ class PlacedPartition:
 
     @property
     def mask(self) -> int:
-        """Occupied+blocked slice bitmask."""
-        return self.geometry.occupied_mask(self.size, self.start)
+        """Occupied+blocked slice bitmask (memoized — instances are
+        shared singletons read on every overlap check)."""
+        mask = self.__dict__.get("_mask")
+        if mask is None:
+            mask = self.geometry.occupied_mask(self.size, self.start)
+            object.__setattr__(self, "_mask", mask)
+        return mask
 
     @property
     def slices(self) -> tuple[int, ...]:
@@ -239,7 +284,7 @@ class PartitionLayout:
     devices are single-mode, so mixed sizes are rejected there).
     """
 
-    __slots__ = ("geometry", "_instances", "_mask")
+    __slots__ = ("geometry", "_instances", "_mask", "_sizes")
 
     def __init__(
         self,
@@ -249,6 +294,7 @@ class PartitionLayout:
         self.geometry = geometry
         self._instances: list[PlacedPartition] = []
         self._mask = 0
+        self._sizes: Optional[tuple[int, ...]] = ()
         for inst in instances:
             self.add(inst)
 
@@ -273,14 +319,23 @@ class PartitionLayout:
         return self.used_slices
 
     def can_add(self, size: int, start: int, extended: bool = True) -> bool:
-        """Whether an instance of ``size`` can be created at ``start``."""
-        if size not in self.geometry.instance_sizes:
+        """Whether an instance of ``size`` can be created at ``start``.
+
+        One dict probe answers legality (unknown size or illegal start
+        miss the mask table) and yields the occupancy mask; the
+        coexistence rule only costs anything on uniform-size geometries.
+        """
+        geometry = self.geometry
+        mask = (
+            geometry._occupied_masks if extended else geometry._canonical_masks
+        ).get((size, start))
+        if mask is None:
             return False
-        if start not in self.geometry.legal_starts(size, extended=extended):
+        if geometry.uniform_instance_sizes and not geometry.can_coexist(
+            self.sizes(), size
+        ):
             return False
-        if not self.geometry.can_coexist(self.sizes(), size):
-            return False
-        return not self._mask & self.geometry.occupied_mask(size, start)
+        return not self._mask & mask
 
     def add(self, inst: PlacedPartition) -> None:
         if inst.geometry.name != self.geometry.name:
@@ -289,23 +344,32 @@ class PartitionLayout:
             )
         if self._mask & inst.mask:
             raise ValueError(f"{inst} overlaps existing instances")
-        if not self.geometry.can_coexist(self.sizes(), inst.size):
+        if self.geometry.uniform_instance_sizes and not self.geometry.can_coexist(
+            self.sizes(), inst.size
+        ):
             raise ValueError(
                 f"{self.geometry.name}: mixed instance sizes on one device "
                 f"(existing {self.sizes()}, adding {inst.size})"
             )
         self._instances.append(inst)
         self._mask |= inst.mask
+        self._sizes = None
 
     def remove(self, inst: PlacedPartition) -> None:
         self._instances.remove(inst)
         self._mask = 0
         for other in self._instances:
             self._mask |= other.mask
+        self._sizes = None
 
     def sizes(self) -> tuple[int, ...]:
-        """Instance sizes in this layout, descending."""
-        return tuple(sorted((i.size for i in self._instances), reverse=True))
+        """Instance sizes in this layout, descending (cached; can_add and
+        the coexistence rule call this on every feasibility probe)."""
+        if self._sizes is None:
+            self._sizes = tuple(
+                sorted((i.size for i in self._instances), reverse=True)
+            )
+        return self._sizes
 
     def signature(self) -> tuple[tuple[int, int], ...]:
         """Canonical ``(start, size)`` tuple — hashable layout identity."""
@@ -369,6 +433,10 @@ def enumerate_layouts(
 
 _REGISTRY: dict[str, PartitionGeometry] = {}
 _ALIASES: dict[str, str] = {}
+#: Raw-name -> geometry memo over successful lookups.  ``get_geometry``
+#: sits under every PlacedSegment construction (millions per fleet-scale
+#: re-plan), where the strip/lower/alias walk itself is measurable.
+_RESOLVED: dict[str, PartitionGeometry] = {}
 
 
 def register_geometry(
@@ -378,6 +446,7 @@ def register_geometry(
     _REGISTRY[geometry.name] = geometry
     for alias in aliases:
         _ALIASES[alias.lower()] = geometry.name
+    _RESOLVED.clear()  # re-registration may rebind names
     return geometry
 
 
@@ -395,6 +464,9 @@ def get_geometry(name: str) -> PartitionGeometry:
     ``"mig-h200-141gb"``) are materialized on demand, so a geometry-tagged
     placement deserialized in a fresh process still resolves.
     """
+    cached = _RESOLVED.get(name)
+    if cached is not None:
+        return cached
     _ensure_builtins()
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
@@ -402,14 +474,18 @@ def get_geometry(name: str) -> PartitionGeometry:
         from repro.gpu.generations import GENERATIONS, geometry_for_generation
 
         if key[len("mig-"):] in GENERATIONS:
-            return geometry_for_generation(key[len("mig-"):])
+            geometry = geometry_for_generation(key[len("mig-"):])
+            _RESOLVED[name] = geometry
+            return geometry
     try:
-        return _REGISTRY[key]
+        geometry = _REGISTRY[key]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(
             f"unknown partition geometry {name!r}; known: {known}"
         ) from None
+    _RESOLVED[name] = geometry
+    return geometry
 
 
 def available_geometries() -> tuple[str, ...]:

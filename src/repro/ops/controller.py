@@ -77,6 +77,7 @@ class FleetController:
         seed: int = 0,
         spare_shadow_gpus: int = 4,
         full_replan_fraction: float = 0.5,
+        workers: int = 0,
     ) -> None:
         geo = get_geometry(geometry)
         if profiles is None:
@@ -104,6 +105,16 @@ class FleetController:
             fast_path=fast_path,
         )
         self.spare_shadow_gpus = spare_shadow_gpus
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        #: shard count for the parallel control plane: 0 keeps every
+        #: stage on the serial reference path; N >= 1 fans per-interval
+        #: serving measurement (and, for N > 1, replan triplet scoring)
+        #: across N shards with bit-identical results (repro.sim.shard)
+        self.workers = workers
+        #: the run-scoped ShardContext (pool + segment memo); live only
+        #: inside :meth:`run` when ``workers >= 1``
+        self._shard_ctx = None
         #: failure event_id -> the GPU id the draw resolved to
         self._eid_to_gpu: dict[str, int] = {}
         self._reset_deployment()
@@ -183,40 +194,54 @@ class FleetController:
             horizon_s=horizon_s,
             geometry=self.geometry.name,
             fast_path=self.fast_path,
+            workers=self.workers,
         )
 
-        t = 0.0  # the bootstrap interval exists even on an empty timeline
-        while True:
-            batch: list[OpsEvent] = []
-            while si < len(static) and static[si].time_s <= t:
-                batch.append(static[si])
-                si += 1
-            while pending and pending[0][0][0] <= t:
-                batch.append(heappop(pending)[2])
-            batch.sort(key=timeline_key)
+        if self.workers >= 1:
+            from repro.sim.shard import ShardContext
 
-            record = self._apply_batch(t, batch, work, by_id, report, pending)
+            # One context for the whole run: the worker pool spawns once
+            # and the segment memo carries across intervals — an event
+            # only perturbs a handful of services, so most segments
+            # resolve from cache and only the changed ones are shipped.
+            self._shard_ctx = ShardContext(self.workers)
+        try:
+            t = 0.0  # the bootstrap interval exists even on an empty timeline
+            while True:
+                batch: list[OpsEvent] = []
+                while si < len(static) and static[si].time_s <= t:
+                    batch.append(static[si])
+                    si += 1
+                while pending and pending[0][0][0] <= t:
+                    batch.append(heappop(pending)[2])
+                batch.sort(key=timeline_key)
 
-            if check:
-                self._check_state(work)
-            placement = self.manager.current
-            record.fingerprint = placement.fingerprint()
-            if measure_s > 0:
-                self._measure(
-                    record, placement, work, measure_s, warmup_s, sim_seed,
-                    sim_fast,
-                )
-            next_times = []
-            if si < len(static):
-                next_times.append(static[si].time_s)
-            if pending:
-                next_times.append(pending[0][0][0])
-            nt = min(next_times) if next_times else None
-            record.duration_s = (horizon_s - t) if nt is None else (nt - t)
-            report.intervals.append(record)
-            if nt is None:
-                break
-            t = nt
+                record = self._apply_batch(t, batch, work, by_id, report, pending)
+
+                if check:
+                    self._check_state(work)
+                placement = self.manager.current
+                record.fingerprint = placement.fingerprint()
+                if measure_s > 0:
+                    self._measure(
+                        record, placement, work, measure_s, warmup_s, sim_seed,
+                        sim_fast,
+                    )
+                next_times = []
+                if si < len(static):
+                    next_times.append(static[si].time_s)
+                if pending:
+                    next_times.append(pending[0][0][0])
+                nt = min(next_times) if next_times else None
+                record.duration_s = (horizon_s - t) if nt is None else (nt - t)
+                report.intervals.append(record)
+                if nt is None:
+                    break
+                t = nt
+        finally:
+            if self._shard_ctx is not None:
+                self._shard_ctx.close()
+                self._shard_ctx = None
         return report
 
     # ------------------------------------------------------------------ #
@@ -268,6 +293,22 @@ class FleetController:
             for svc in work:
                 svc.request_rate = max(svc.request_rate, 1e-6)
                 svc.reset_plan()
+            if (
+                self._shard_ctx is not None
+                and self.workers > 1
+                and self.fast_path
+            ):
+                # Per-service triplet scoring is independent: fan the
+                # uncached TRIPLETDECISION keys across the shard pool
+                # and seed the memo caches before the serial schedule.
+                from repro.parallel import warm_triplet_decisions
+
+                warm_triplet_decisions(
+                    self.profiles,
+                    work,
+                    self.scheduler.configurator.max_processes,
+                    self._shard_ctx.pool,
+                )
             placement = self.scheduler.schedule(work)
             plan = self.manager.deploy(placement)
             cost = price_plan(plan)
@@ -571,6 +612,8 @@ class FleetController:
             warmup_s=warmup_s,
             seed=sim_seed,
             fast_path=sim_fast,
+            workers=self.workers if sim_fast else 0,
+            shard_context=self._shard_ctx if sim_fast else None,
         )
         record.compliance = sim.overall_compliance
         record.sim_fingerprint = sim.fingerprint()
@@ -614,6 +657,7 @@ def run_identity_checked(
     warmup_s: float = 0.1,
     sim_seed: int = 0,
     naive_sim: bool = True,
+    workers: int = 0,
     **controller_kwargs,
 ) -> tuple[OpsReport, OpsReport]:
     """Replay one timeline on the fast path *and* the naive reference.
@@ -625,10 +669,17 @@ def run_identity_checked(
     reference replay on the simulation fast path (the event-driven engine
     is O(requests) and can dominate large fleets' replay time).
 
+    ``workers`` applies to the fast replay only — the naive reference
+    always runs serial, so a nonzero worker count additionally asserts
+    that the sharded parallel control plane matches the serial reference
+    machinery interval-for-interval.
+
     Returns ``(fast_report, naive_report)``.
     """
     timeline = tuple(timeline)
-    fast = FleetController(fast_path=True, **controller_kwargs).run(
+    fast = FleetController(
+        fast_path=True, workers=workers, **controller_kwargs
+    ).run(
         services, timeline, horizon_s,
         measure_s=measure_s, warmup_s=warmup_s, sim_seed=sim_seed,
     )

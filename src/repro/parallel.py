@@ -1,0 +1,167 @@
+"""Deterministic process fan-out for the sharded control plane.
+
+Fleet-scale work in this repository (per-interval serving measurement,
+replan triplet scoring) is embarrassingly parallel: the unit tasks are
+pure functions of picklable inputs, and every consumer merges results by
+*input position*, never by completion order.  This module holds the
+shared fan-out plumbing:
+
+- :func:`partition` — contiguous, near-even index blocks.  Contiguity is
+  what keeps sharded merges trivially order-independent: block ``k``
+  owns input slots ``[start, stop)`` and its results scatter back into
+  exactly those slots regardless of which worker finished first.
+- :class:`ShardPool` — a lazily-created ``ProcessPoolExecutor`` wrapper
+  whose :meth:`ShardPool.run` returns results **in job order**.  With
+  ``workers == 1`` jobs run inline in the calling process through the
+  identical pack/execute/unpack code path, so single-shard runs exercise
+  the sharded machinery without any subprocess (and tests can cover the
+  shard/merge logic cheaply).
+- :func:`warm_triplet_decisions` — the replan-side fan-out: distinct
+  uncached ``TRIPLETDECISION`` keys are scored by workers against a
+  pickled copy of each profile table and the resulting operating-point
+  *identities* are seeded back into the parent's memo caches
+  (:meth:`~repro.profiler.table.ProfileTable.seed_triplet_decision`).
+  ``best_triplets`` is a pure function of the table, so a worker's
+  decision is bit-identical to one the parent would have computed.
+
+Determinism contract: workers never share state, never consume random
+draws, and never influence result order — a sharded run is bit-identical
+to the serial reference for any worker count (guarded by
+``tests/property/test_property_parallel.py`` and the perf harness's
+parallel-vs-serial fingerprint identity check).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+
+def partition(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``shards`` contiguous blocks.
+
+    Blocks are near-even (sizes differ by at most one, larger blocks
+    first) and non-empty; fewer than ``shards`` blocks are returned when
+    ``n < shards``.  The split depends only on ``(n, shards)``, so two
+    processes partition identically.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    blocks: list[tuple[int, int]] = []
+    k = min(shards, n)
+    base, extra = divmod(n, k) if k else (0, 0)
+    start = 0
+    for i in range(k):
+        stop = start + base + (1 if i < extra else 0)
+        blocks.append((start, stop))
+        start = stop
+    return blocks
+
+
+class ShardPool:
+    """Order-preserving process pool with an inline single-worker mode.
+
+    The underlying ``ProcessPoolExecutor`` is created on first use (a
+    controller configured with workers but never asked to measure pays
+    nothing) and must be released with :meth:`close` — or use the pool
+    as a context manager.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def run(
+        self, fn: Callable[[Any], Any], jobs: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every job, returning results in job order.
+
+        Completion order never leaks: results are gathered positionally,
+        so a slow first shard cannot reorder the merge.
+        """
+        if not jobs:
+            return []
+        if self.workers == 1:
+            return [fn(job) for job in jobs]
+        futures = [self._ensure_executor().submit(fn, job) for job in jobs]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# replan fan-out: parallel TRIPLETDECISION scoring
+# --------------------------------------------------------------------- #
+
+
+def _score_triplets(job) -> list[tuple]:
+    """Worker: score TRIPLETDECISION keys against a pickled profile table.
+
+    Returns, per ``(slo_ms, max_processes)`` key, the chosen operating
+    points as ``(instance_size, (size, batch, procs))`` identity pairs in
+    decision-scan order — identities, not entries, so the parent re-binds
+    them to its own table objects.
+    """
+    table, keys = job
+    out = []
+    for slo_ms, max_processes in keys:
+        best = table.best_triplets(slo_ms, max_processes, memoize=False)
+        out.append(tuple((size, e.triplet) for size, e in best.items()))
+    return out
+
+
+def warm_triplet_decisions(
+    profiles: Mapping[str, Any],
+    services: Iterable[Any],
+    max_processes: int,
+    pool: ShardPool,
+) -> int:
+    """Fan uncached replan triplet decisions across the pool.
+
+    Collects every ``(model, effective SLO)`` a full replan over
+    ``services`` would score, drops the ones already memoized, ships one
+    job per model (the table pickles with the job, so correctness never
+    depends on workers rebuilding identical profiles), and seeds the
+    parent's caches from the returned identities.  Returns the number of
+    decisions warmed.
+    """
+    wanted: dict[str, set[float]] = {}
+    for svc in services:
+        table = profiles.get(svc.model)
+        if table is None:
+            continue
+        slo = svc.effective_slo_ms
+        if not table.has_triplet_decision(slo, max_processes):
+            wanted.setdefault(svc.model, set()).add(slo)
+    if not wanted:
+        return 0
+    models = sorted(wanted)
+    jobs = [(profiles[m], sorted(wanted[m])) for m in models]
+    payloads = [
+        (table, [(slo, max_processes) for slo in slos])
+        for table, slos in jobs
+    ]
+    warmed = 0
+    for model, (_, slos), decisions in zip(
+        models, jobs, pool.run(_score_triplets, payloads)
+    ):
+        for slo, triplets in zip(slos, decisions):
+            profiles[model].seed_triplet_decision(slo, max_processes, triplets)
+            warmed += 1
+    return warmed

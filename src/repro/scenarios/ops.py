@@ -1,5 +1,5 @@
 """Fleet-operations scenarios: S12 (tenant churn), S13 (chaos week),
-S14 (spot fleet with recovery).
+S14 (spot fleet with recovery), S15 (the 10k-service chaos week).
 
 Each scenario is two things: a registry-visible :class:`Scenario` (its
 *base fleet*, resampled from Table IV like S9-S11, so ``parvagpu schedule
@@ -42,6 +42,8 @@ S13_FLEET_SIZE = 80
 S13_HORIZON_S = 7 * 86_400.0  # the chaos week
 S14_FLEET_SIZE = 100
 S14_HORIZON_S = 12 * 3600.0  # half a day on spot capacity
+S15_FLEET_SIZE = 10_000
+S15_HORIZON_S = 7 * 86_400.0  # the 10k-service chaos week
 
 
 @dataclass(frozen=True)
@@ -153,7 +155,59 @@ def _s14_run(seed: int) -> OpsRun:
     )
 
 
-_RUN_BUILDERS = {"S12": _s12_run, "S13": _s13_run, "S14": _s14_run}
+def _s15_run(seed: int) -> OpsRun:
+    """The 10k-service chaos week the sharded control plane exists for.
+
+    Event density is deliberately low relative to the fleet size — a
+    fleet-level failure every ~12 h, one preemption wave per day, single
+    -digit churn and renegotiations — so the timeline stays at dozens of
+    instants over the week and per-interval serving measurement (the
+    shardable stage) dominates the replay.
+    """
+    services = _base_services("S15")
+    timeline = merge_timeline(
+        mtbf_failures(
+            horizon_s=S15_HORIZON_S,
+            mtbf_s=12 * 3600.0,
+            seed=seed,
+            repair_s=6 * 3600.0,
+        ),
+        spot_preemption_waves(
+            horizon_s=S15_HORIZON_S,
+            every_s=86_400.0,
+            fraction=0.01,
+            seed=seed,
+            restore_delay_s=8 * 3600.0,
+        ),
+        tenant_churn(
+            horizon_s=S15_HORIZON_S,
+            arrivals=8,
+            departures=6,
+            seed=seed,
+            base_ids=[s.id for s in services],
+        ),
+        slo_renegotiations(
+            [(s.id, s.slo_latency_ms) for s in services],
+            horizon_s=S15_HORIZON_S,
+            count=3,
+            seed=seed,
+        ),
+    )
+    return OpsRun(
+        name="S15",
+        description=OPS_SCENARIOS["S15"].description,
+        services=services,
+        timeline=timeline,
+        horizon_s=S15_HORIZON_S,
+    )
+
+
+_RUN_BUILDERS = {
+    "S12": _s12_run,
+    "S13": _s13_run,
+    "S14": _s14_run,
+    "S15": _s15_run,
+}
 
 
 def ops_run(name: str, seed: int = OPS_SEED) -> OpsRun:
@@ -255,6 +309,17 @@ OPS_SCENARIOS: dict[str, Scenario] = {
             f"{S14_HORIZON_S / 3600:g} h (ops_run('S14'))"
         ),
         loads=fleet_loads(S14_FLEET_SIZE, seed=OPS_SEED),
+    ),
+    "S15": Scenario(
+        name="S15",
+        description=(
+            f"10k-service chaos week: {S15_FLEET_SIZE} services through "
+            f"7 simulated days of MTBF failures, daily preemption waves, "
+            f"churn and renegotiations — the sharded control plane's "
+            f"target workload (ops_run('S15', workers=N via the "
+            f"FleetController))"
+        ),
+        loads=fleet_loads(S15_FLEET_SIZE, seed=OPS_SEED),
     ),
 }
 

@@ -86,28 +86,68 @@ class _SegmentResult:
 class _SegmentKernel:
     """Derived per-segment quantities, mirroring ``SegmentServer.__init__``.
 
-    The latency/busy caches memoize the perf-model evaluations the event
-    engine performs per dispatch; the model is pure, so cached values are
-    bit-identical to fresh calls.
+    Built from seven scalar parameters rather than a
+    :class:`PlacedSegment` so shard workers (:mod:`repro.sim.shard`) can
+    rebuild bit-identical kernels from columnar numpy buffers without
+    pickling placement objects; :meth:`from_segment` derives the
+    parameters exactly as the serial path always did.  The latency/busy
+    caches memoize the perf-model evaluations the event engine performs
+    per dispatch; the model is pure, so cached values are bit-identical
+    to fresh calls.
     """
 
-    def __init__(self, segment: PlacedSegment, slo_ms: float) -> None:
-        self.segment = segment
+    def __init__(
+        self,
+        model: str,
+        gpcs: float,
+        batch_size: int,
+        num_processes: int,
+        segment_latency_ms: float,
+        slo_ms: float,
+        sm_count: int,
+    ) -> None:
+        self.model = model
+        self.gpcs = gpcs
+        self.batch_size = batch_size
+        self.num_processes = num_processes
+        self.segment_latency_ms = segment_latency_ms
         self.slo_ms = slo_ms
-        self.perf = PerfModel(get_model(segment.model))
-        self.gpcs = segment.effective_gpcs
-        clean = self.perf.latency_ms(
-            self.gpcs, segment.batch_size, segment.num_processes
-        )
-        self.slowdown = max(1.0, segment.latency_ms / clean)
+        self.perf = PerfModel(get_model(model))
+        clean = self.perf.latency_ms(gpcs, batch_size, num_processes)
+        self.slowdown = max(1.0, segment_latency_ms / clean)
         self.policy = BatchPolicy(
-            batch_size=segment.batch_size,
+            batch_size=batch_size,
             slo_ms=slo_ms,
-            exec_estimate_ms=segment.latency_ms,
+            exec_estimate_ms=segment_latency_ms,
         )
-        self.sm_count = max(1, round(segment.sm_count))
+        self.sm_count = sm_count
         self._lat: dict[tuple[int, int], float] = {}
         self._busy: dict[int, float] = {}
+
+    @classmethod
+    def from_segment(
+        cls,
+        segment: PlacedSegment,
+        slo_ms: float,
+        sm_count: int | None = None,
+    ) -> "_SegmentKernel":
+        """Kernel parameters as the serial fast path derives them.
+
+        ``sm_count`` overrides the segment's own compute-unit count with
+        the activity tracker's registered value (last register wins when
+        segment keys collide).
+        """
+        return cls(
+            model=segment.model,
+            gpcs=segment.effective_gpcs,
+            batch_size=segment.batch_size,
+            num_processes=segment.num_processes,
+            segment_latency_ms=segment.latency_ms,
+            slo_ms=slo_ms,
+            sm_count=(
+                max(1, round(segment.sm_count)) if sm_count is None else sm_count
+            ),
+        )
 
     def latency_ms(self, batch: int, concurrency: int) -> float:
         """Execution latency of one dispatch, incl. interference slowdown."""
@@ -152,8 +192,7 @@ def _simulate_segment_vectorized(
     this by construction; the check admits any arrival array that does.
     Returns ``None`` when the regime does not apply.
     """
-    seg = kernel.segment
-    batch = seg.batch_size
+    batch = kernel.batch_size
     n = len(arrivals)
     if n == 0:
         return _SegmentResult()
@@ -177,7 +216,7 @@ def _simulate_segment_vectorized(
         if float(arrivals[-1]) > deadline:
             return None  # the tail spans several flush windows
         in_flight = bool(full) and float(completions[-1]) > deadline
-        if in_flight and seg.num_processes == 1:
+        if in_flight and kernel.num_processes == 1:
             return None  # tail would dispatch at the completion instead
         concurrency = 2 if in_flight else 1
         if deadline <= until:
@@ -240,9 +279,8 @@ def _simulate_segment(
     if n == 0:
         return out
     A = arrivals.tolist()
-    seg = kernel.segment
-    batch_size = seg.batch_size
-    procs = seg.num_processes
+    batch_size = kernel.batch_size
+    procs = kernel.num_processes
     slo_ms = kernel.slo_ms
     flush_wait_ms = kernel.policy.flush_wait_ms
     flush_wait_s = flush_wait_ms / 1e3
@@ -383,8 +421,10 @@ def simulate_placement_fast(
 
     steps = 0
     for key, seg, times in runs:
-        kernel = _SegmentKernel(seg, svc_by_id[seg.service_id].slo_latency_ms)
-        kernel.sm_count = sm_counts[key]
+        kernel = _SegmentKernel.from_segment(
+            seg, svc_by_id[seg.service_id].slo_latency_ms,
+            sm_count=sm_counts[key],
+        )
         res = _simulate_segment_vectorized(kernel, times, warmup_s, until)
         if res is None:
             res = _simulate_segment(kernel, times, warmup_s, until)

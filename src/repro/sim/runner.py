@@ -28,6 +28,8 @@ def simulate_placement(
     seed: int = 0,
     arrivals: str = "uniform",
     fast_path: bool = True,
+    workers: int = 0,
+    shard_context=None,
 ) -> SimulationReport:
     """Drive ``placement`` with request traffic and measure serving quality.
 
@@ -45,7 +47,37 @@ def simulate_placement(
     fewer iteration steps.  ``fast_path=False`` keeps the per-request
     discrete-event engine as the naive reference (the perf harness checks
     the two against each other on every recorded run).
+
+    ``workers >= 1`` routes the fast path through the sharded parallel
+    executor (:mod:`repro.sim.shard`): segments partition into that many
+    contiguous shards whose results merge back in placement order, so
+    the report is bit-identical to the serial fast path for any worker
+    count (``workers=1`` runs the single shard inline).  A
+    ``shard_context`` (:class:`~repro.sim.shard.ShardContext`) reuses a
+    worker pool and cross-call segment memo between invocations — the
+    FleetController's per-interval measurement loop.  ``workers=0``
+    (default) is the serial reference; sharding requires the fast path.
     """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if (workers >= 1 or shard_context is not None) and not fast_path:
+        raise ValueError(
+            "sharded parallel simulation requires the fast path "
+            "(the event-driven reference stays serial)"
+        )
+    if fast_path and (workers >= 1 or shard_context is not None):
+        from repro.sim.shard import simulate_placement_sharded
+
+        return simulate_placement_sharded(
+            placement,
+            services,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            seed=seed,
+            arrivals=arrivals,
+            workers=max(1, workers),
+            context=shard_context,
+        )
     if fast_path:
         from repro.sim.fastpath import simulate_placement_fast
 

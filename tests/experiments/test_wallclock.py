@@ -1,0 +1,51 @@
+"""Regression tests for the gated wall-clock assertion helper.
+
+benchmarks/test_fig9_delay.py routes its timing bounds through
+``wall_clock_assert``; these tests pin the gate's contract so a refactor
+can't silently turn warnings back into flaky hard failures (or strict
+mode into a no-op).
+"""
+
+import warnings
+
+import pytest
+
+from repro.experiments.wallclock import (
+    STRICT_ENV,
+    WallClockWarning,
+    strict_wall_clock,
+    wall_clock_assert,
+)
+
+
+def test_holding_bound_is_silent_everywhere():
+    for env in ({}, {STRICT_ENV: "1"}):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would raise
+            assert wall_clock_assert(True, "fine", env=env) is True
+
+
+def test_violation_warns_and_passes_by_default():
+    with pytest.warns(WallClockWarning, match="too slow"):
+        assert wall_clock_assert(False, "too slow", env={}) is False
+
+
+def test_violation_raises_under_strict_env():
+    with pytest.raises(AssertionError, match="too slow"):
+        wall_clock_assert(False, "too slow", env={STRICT_ENV: "1"})
+
+
+def test_any_nonempty_value_is_strict_but_empty_is_not():
+    assert strict_wall_clock(env={STRICT_ENV: "yes"})
+    assert strict_wall_clock(env={STRICT_ENV: "0"})  # set at all counts
+    assert not strict_wall_clock(env={STRICT_ENV: ""})
+    assert not strict_wall_clock(env={})
+
+
+def test_env_defaults_to_process_environment(monkeypatch):
+    monkeypatch.setenv(STRICT_ENV, "1")
+    with pytest.raises(AssertionError):
+        wall_clock_assert(False, "strict from os.environ")
+    monkeypatch.delenv(STRICT_ENV)
+    with pytest.warns(WallClockWarning):
+        wall_clock_assert(False, "lenient from os.environ")

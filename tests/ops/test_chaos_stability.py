@@ -1,0 +1,204 @@
+"""Cross-process seed stability and merge-order properties.
+
+Within-process determinism (same args -> equal tuples) lives in
+test_chaos.py.  This module guards the stronger contract the sharded
+control plane rests on: a seeded timeline must come out *identical in a
+different interpreter process* — i.e. no generator may depend on hash
+randomization, set/dict iteration of unordered inputs, or anything else
+PYTHONHASHSEED perturbs — and :func:`merge_timeline` must order
+same-instant events by the typed PRIORITY regardless of how the streams
+were sliced.
+"""
+
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops.events import (
+    GpuFailure,
+    GpuRecovery,
+    RateEpoch,
+    ServiceArrival,
+    ServiceDeparture,
+    SloChange,
+    SpotPreemptionWave,
+    merge_timeline,
+    timeline_key,
+)
+
+# ---------------------------------------------------------------------- #
+# cross-process seed stability
+# ---------------------------------------------------------------------- #
+
+#: Runs in a child interpreter with a different PYTHONHASHSEED; prints a
+#: canonical rendering of every generator's output for one seed.
+_CHILD_SCRIPT = """\
+import sys
+from repro.ops.chaos import (
+    mtbf_failures, slo_renegotiations, spot_preemption_waves, tenant_churn,
+)
+from repro.ops.events import merge_timeline
+
+seed = int(sys.argv[1])
+streams = (
+    mtbf_failures(horizon_s=50_000, mtbf_s=4_000, seed=seed, repair_s=2_000),
+    spot_preemption_waves(
+        horizon_s=50_000, every_s=9_000, fraction=0.1, seed=seed,
+        restore_delay_s=3_000,
+    ),
+    tenant_churn(
+        horizon_s=50_000, arrivals=6, departures=4, seed=seed,
+        base_ids=("svc-a", "svc-b", "svc-c"),
+    ),
+    slo_renegotiations(
+        [("svc-a", 100.0), ("svc-b", 250.0), ("svc-c", 40.0)],
+        horizon_s=50_000, count=3, seed=seed,
+    ),
+)
+for event in merge_timeline(*streams):
+    print(repr(event))
+"""
+
+
+def _timeline_render(seed, hashseed):
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(seed)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return out.stdout
+
+
+def test_timelines_identical_across_processes():
+    """Two interpreters with *different* hash randomization must render
+    the same seeded timeline byte-for-byte."""
+    a = _timeline_render(seed=20240802, hashseed=0)
+    b = _timeline_render(seed=20240802, hashseed=918273645)
+    assert a and a == b
+
+
+def test_process_rendering_matches_in_process():
+    """The child's canonical rendering equals this process's own."""
+    from repro.ops.chaos import (
+        mtbf_failures,
+        slo_renegotiations,
+        spot_preemption_waves,
+        tenant_churn,
+    )
+
+    timeline = merge_timeline(
+        mtbf_failures(horizon_s=50_000, mtbf_s=4_000, seed=7, repair_s=2_000),
+        spot_preemption_waves(
+            horizon_s=50_000, every_s=9_000, fraction=0.1, seed=7,
+            restore_delay_s=3_000,
+        ),
+        tenant_churn(
+            horizon_s=50_000, arrivals=6, departures=4, seed=7,
+            base_ids=("svc-a", "svc-b", "svc-c"),
+        ),
+        slo_renegotiations(
+            [("svc-a", 100.0), ("svc-b", 250.0), ("svc-c", 40.0)],
+            horizon_s=50_000, count=3, seed=7,
+        ),
+    )
+    ours = "".join(f"{event!r}\n" for event in timeline)
+    assert _timeline_render(seed=7, hashseed=424242) == ours
+
+
+def test_ops_run_stable_across_processes():
+    """The registered S12 package (base fleet + timeline) renders
+    identically in a child with different hash randomization."""
+    script = (
+        "from repro.scenarios.ops import ops_run\n"
+        "run = ops_run('S12')\n"
+        "print(len(run.services))\n"
+        "for event in run.timeline:\n"
+        "    print(repr(event))\n"
+    )
+    renders = []
+    for hashseed in (1, 777):
+        env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+        env["PYTHONPATH"] = os.pathsep.join(sys.path)
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        renders.append(out.stdout)
+    assert renders[0] and renders[0] == renders[1]
+
+
+# ---------------------------------------------------------------------- #
+# merge_timeline ordering properties
+# ---------------------------------------------------------------------- #
+
+#: A pool of same-instant-capable events: times collide on a tiny grid so
+#: hypothesis exercises the PRIORITY tie-break constantly.
+_times = st.sampled_from([0.0, 10.0, 10.0, 25.0, 60.0])
+_names = st.sampled_from(["svc-a", "svc-b", "svc-c", "svc-d"])
+
+_events = st.one_of(
+    st.builds(ServiceDeparture, time_s=_times, service_id=_names),
+    st.builds(
+        ServiceArrival, time_s=_times, service_id=_names,
+        model=st.just("resnet-50"),
+        request_rate=st.floats(min_value=1.0, max_value=500.0),
+        slo_latency_ms=st.floats(min_value=20.0, max_value=400.0),
+    ),
+    st.builds(
+        SloChange, time_s=_times, service_id=_names,
+        slo_latency_ms=st.floats(min_value=20.0, max_value=400.0),
+    ),
+    st.builds(
+        RateEpoch, time_s=_times, service_id=_names,
+        rate=st.floats(min_value=0.0, max_value=500.0),
+    ),
+    st.builds(
+        GpuFailure, time_s=_times,
+        event_id=st.sampled_from(["f1", "f2", "f3"]),
+        draw=st.floats(min_value=0.0, max_value=0.99),
+    ),
+    st.builds(
+        GpuRecovery, time_s=_times,
+        ref=st.sampled_from(["f1", "f2", "f3"]),
+    ),
+    st.builds(
+        SpotPreemptionWave, time_s=_times,
+        event_id=st.sampled_from(["w1", "w2"]),
+        fraction=st.floats(min_value=0.01, max_value=1.0),
+        draw=st.floats(min_value=0.0, max_value=0.99),
+    ),
+)
+
+
+@given(
+    st.lists(_events, min_size=2, max_size=24, unique_by=timeline_key),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_merge_is_slicing_invariant_and_priority_ordered(events, rnd):
+    """However the events are shuffled and sliced into streams, the merge
+    is the one canonical timeline; same-instant runs apply departures
+    before arrivals before SLO/rate changes before recoveries before
+    failures before preemption waves (ascending PRIORITY, then token)."""
+    canonical = tuple(sorted(events, key=timeline_key))
+
+    shuffled = list(events)
+    rnd.shuffle(shuffled)
+    cut_a = rnd.randint(0, len(shuffled))
+    cut_b = rnd.randint(cut_a, len(shuffled))
+    merged = merge_timeline(
+        shuffled[:cut_a], shuffled[cut_a:cut_b], shuffled[cut_b:]
+    )
+    assert merged == canonical
+
+    keys = [timeline_key(e) for e in merged]
+    assert keys == sorted(keys)
+    for earlier, later in zip(merged, merged[1:]):
+        if earlier.time_s == later.time_s:
+            assert (earlier.PRIORITY, earlier.sort_token) <= (
+                later.PRIORITY, later.sort_token
+            )

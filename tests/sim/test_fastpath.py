@@ -163,7 +163,7 @@ class TestVectorizedPath:
         seg = one_segment(
             served=served, batch=batch, procs=procs
         ).gpus[0].segments[0]
-        return _SegmentKernel(seg, 300.0)
+        return _SegmentKernel.from_segment(seg, 300.0)
 
     def test_vectorizes_uniform_unsaturated(self):
         from repro.sim.arrivals import uniform_arrivals

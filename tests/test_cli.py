@@ -49,9 +49,15 @@ class TestCommands:
     def test_scenarios_lists_registry(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out
-        for name in ("S1", "S6", "S9", "S12", "S13", "S14"):
+        for name in ("S1", "S6", "S9", "S12", "S13", "S14", "S15"):
             assert f"\n{name} " in out or out.startswith(f"{name} ")
         assert "mig,mi300x,mixed" in out
+
+    def test_scenarios_describes_ops_fleets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Tenant-churn fleet: 100 base services" in out
+        assert "10k-service chaos week: 10000 services" in out
 
     def test_ops_runs_truncated_s12(self, capsys):
         assert (
@@ -85,6 +91,58 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "fast-vs-naive replay" in out
+
+    def test_ops_verify_s12_reports_fields(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--horizon", "3000",
+                  "--measure", "0.1", "--verify"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "S12: 100 services" in out
+        assert "fast-vs-naive replay" in out
+        assert "compliance: mean" in out
+        assert "fleet: peak" in out
+
+    def test_ops_workers_threads_through(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--horizon", "3000",
+                  "--measure", "0.1", "--workers", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "sharded control plane x2" in out
+        assert "identity: state round-trip" in out
+
+    def test_ops_workers_with_verify(self, capsys):
+        """--verify --workers N: the sharded fast replay must match the
+        serial naive reference interval-for-interval."""
+        assert (
+            main(["ops", "--scenario", "s12", "--horizon", "3000",
+                  "--measure", "0.1", "--verify", "--workers", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "sharded control plane x2" in out
+        assert "fast-vs-naive replay" in out
+
+    def test_ops_workers_requires_fast_engine(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--engine", "naive",
+                  "--workers", "2"]) == 2
+        )
+        assert "--workers requires the fast engine" in capsys.readouterr().err
+
+    def test_simulate_workers_threads_through(self, capsys):
+        assert (
+            main(["simulate", "--scenario", "S1", "--duration", "1.0",
+                  "--workers", "2"]) == 0
+        )
+        assert "SLO compliance" in capsys.readouterr().out
+
+    def test_simulate_workers_requires_fast_engine(self, capsys):
+        assert (
+            main(["simulate", "--scenario", "S1", "--engine", "event",
+                  "--workers", "2"]) == 2
+        )
+        assert "--workers requires the fast engine" in capsys.readouterr().err
 
     def test_experiment_module_main(self, capsys):
         from repro.experiments.__main__ import main as exp_main
