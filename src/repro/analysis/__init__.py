@@ -1,4 +1,10 @@
-"""Statistical analysis helpers for multi-seed experiment replication."""
+"""Analysis tooling: replication statistics and static analysis.
+
+- :mod:`repro.analysis.stats` — multi-seed replication statistics for
+  experiment claims.
+- :mod:`repro.analysis.lint` — repro-lint, the determinism &
+  identity-contract static analyzer (``python -m repro.analysis.lint``).
+"""
 
 from repro.analysis.stats import (
     SeriesStats,

@@ -1,0 +1,103 @@
+"""Command-line entry point: ``python -m repro.analysis.lint [paths...]``.
+
+Exit status is 0 when the tree is clean (every finding either fixed,
+disabled with a reason, or justified in the committed baseline) and 1
+when there are new findings, malformed disables, unparseable files,
+baseline format errors, or stale baseline entries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.lint.baseline import (
+    apply_baseline,
+    format_entry,
+    load_baseline,
+)
+from repro.analysis.lint.config import LintConfig, load_config
+from repro.analysis.lint.engine import lint_paths
+from repro.analysis.lint.rules import RULES
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Determinism & identity-contract linter for this repo.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root (default: walk up to the dir with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file (default: [tool.repro-lint] baseline setting)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the committed baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="print new findings as baseline lines (justifications must "
+             "then be written by hand — TODO markers are emitted)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+
+    config: LintConfig = load_config(root=args.root)
+    findings = lint_paths([Path(p) for p in args.paths], config)
+
+    errors: list[str] = []
+    stale_msgs: list[str] = []
+    if args.no_baseline:
+        new = findings
+    else:
+        baseline_path = args.baseline or config.baseline_path()
+        entries, errors = load_baseline(Path(baseline_path))
+        new, stale = apply_baseline(findings, entries, config)
+        stale_msgs = [
+            f"{baseline_path}:{e.line}: stale baseline entry "
+            f"({e.code} in {e.relpath}): the finding no longer occurs — "
+            "delete the entry"
+            for e in stale
+        ]
+
+    if args.write_baseline:
+        for finding in new:
+            print(format_entry(finding, config, "TODO: justify or fix"))
+        return 0 if not new else 1
+
+    for finding in new:
+        print(finding.render(config.relpath(finding.path)))
+    for message in errors + stale_msgs:
+        print(message)
+
+    failed = bool(new or errors or stale_msgs)
+    total = len(new)
+    if failed:
+        print(
+            f"repro-lint: {total} finding(s), {len(errors)} baseline "
+            f"error(s), {len(stale_msgs)} stale baseline entr(y/ies)"
+        )
+    else:
+        print("repro-lint: clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Grandfathered-findings baseline for repro-lint.
+
+The baseline exists so the linter can be adopted (or a rule tightened)
+without a big-bang cleanup: pre-existing findings are listed in a
+committed file and stop failing the build, while *new* findings still
+do.  The contract is strict in both directions:
+
+- every entry must carry a written justification (the line-by-line
+  review happens in the diff that adds it);
+- an entry whose finding no longer occurs is *stale* and fails the run,
+  so the baseline can only shrink silently, never drift.
+
+Entry format (one finding per line, ``#`` comments allowed)::
+
+    D002 | src/repro/foo.py | a1b2c3d4e5f6 | why this is grandfathered
+
+The third field is a 12-hex digest of the offending source line
+(:func:`snippet_digest`), so entries survive unrelated line-number
+churn but go stale when the flagged code itself changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.rules import RULES, Finding
+
+
+def snippet_digest(snippet: str) -> str:
+    """Stable 12-hex digest of a stripped source line."""
+    return hashlib.sha256(snippet.strip().encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding with its justification."""
+
+    code: str
+    relpath: str
+    digest: str
+    justification: str
+    line: int  #: line number *in the baseline file*, for error messages
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.relpath, self.digest)
+
+
+def finding_key(finding: Finding, config: LintConfig) -> tuple[str, str, str]:
+    return (
+        finding.code,
+        config.relpath(finding.path),
+        snippet_digest(finding.snippet),
+    )
+
+
+def format_entry(finding: Finding, config: LintConfig, justification: str) -> str:
+    """Render ``finding`` as a baseline line (for `--write-baseline`)."""
+    code, relpath, digest = finding_key(finding, config)
+    return f"{code} | {relpath} | {digest} | {justification}"
+
+
+def load_baseline(path: Path) -> tuple[list[BaselineEntry], list[str]]:
+    """Parse the baseline file; malformed/unjustified lines are errors.
+
+    A missing file is an empty baseline — the healthy steady state.
+    """
+    entries: list[BaselineEntry] = []
+    errors: list[str] = []
+    if not path.is_file():
+        return entries, errors
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = [p.strip() for p in stripped.split("|", 3)]
+        if len(parts) != 4:
+            errors.append(
+                f"{path}:{lineno}: expected "
+                "`CODE | path | digest | justification`"
+            )
+            continue
+        code, relpath, digest, justification = parts
+        if code not in RULES:
+            errors.append(f"{path}:{lineno}: unknown rule code {code!r}")
+            continue
+        if not justification:
+            errors.append(
+                f"{path}:{lineno}: baseline entry for {relpath} has no "
+                "justification; every grandfathered finding must say why"
+            )
+            continue
+        entries.append(BaselineEntry(code, relpath, digest, justification, lineno))
+    return entries, errors
+
+
+def apply_baseline(
+    findings: list[Finding],
+    entries: list[BaselineEntry],
+    config: LintConfig,
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split findings into (new, ...) and detect stale baseline entries.
+
+    Returns ``(new_findings, stale_entries)``.  A baseline entry matches
+    at most the findings sharing its (code, path, snippet-digest) key;
+    an entry matching nothing is stale.
+    """
+    by_key: dict[tuple[str, str, str], BaselineEntry] = {}
+    for entry in entries:
+        by_key[entry.key] = entry
+    matched: set[tuple[str, str, str]] = set()
+    new: list[Finding] = []
+    for finding in findings:
+        key = finding_key(finding, config)
+        if key in by_key:
+            matched.add(key)
+        else:
+            new.append(finding)
+    stale = [e for e in entries if e.key not in matched]
+    return new, stale

@@ -1,0 +1,137 @@
+"""File walking, disable comments, and finding assembly for repro-lint.
+
+The escape hatch is a same-line comment that *must* carry a reason::
+
+    t0 = time.perf_counter()  # repro-lint: disable=D002 (fig9 measures this)
+
+A disable comment without a parenthesised, non-empty reason is itself a
+finding (``D000``): the contract is that every suppressed hazard has a
+written justification next to it, reviewable in the diff that adds it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.rules import RULES, Finding, check
+
+#: Matches the full disable comment: one or more comma-separated rule
+#: codes, then the justification in parentheses.  The reason group is
+#: optional in the regex so reason-less disables can be reported as D000.
+_MARKER_RE = re.compile(r"#\s*repro-lint:")
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=\s*(?P<codes>[A-Za-z0-9_,\s]*?)"
+    r"\s*(?:\((?P<reason>.*)\))?\s*$"
+)
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass(frozen=True)
+class Disable:
+    """A parsed per-line disable comment (codes plus its justification)."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str
+
+
+def parse_disables(source: str, path: Path) -> tuple[dict[int, Disable], list[Finding]]:
+    """Extract per-line disables; malformed ones become D000 findings."""
+    disables: dict[int, Disable] = {}
+    findings: list[Finding] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _MARKER_RE.search(line) is None:
+            continue
+        match = _DISABLE_RE.search(line)
+        if match is None:
+            findings.append(
+                Finding(path, lineno, 1, "D000",
+                        "unrecognized repro-lint comment; expected "
+                        "`disable=DXXX (reason)` after the marker")
+            )
+            continue
+        codes = frozenset(
+            c.strip().upper() for c in match.group("codes").split(",") if c.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not codes or any(code not in RULES for code in codes):
+            findings.append(
+                Finding(path, lineno, 1, "D000",
+                        f"disable comment names unknown rule(s): "
+                        f"{sorted(codes) or '(none)'}")
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(path, lineno, 1, "D000",
+                        "disable comment is missing its justification; "
+                        "write `disable=DXXX (why this is safe)`")
+            )
+            continue
+        disables[lineno] = Disable(lineno, codes, reason)
+    return disables, findings
+
+
+def lint_source(source: str, path: Path, config: LintConfig) -> list[Finding]:
+    """Lint one module's source text and return its surviving findings."""
+    disables, findings = parse_disables(source, path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        findings.append(
+            Finding(path, exc.lineno or 1, (exc.offset or 0) + 1, "E001",
+                    f"could not parse: {exc.msg}")
+        )
+        return findings
+    raw = check(
+        tree,
+        path,
+        wallclock_allowed=config.wallclock_allowed(path),
+        identity_module=config.is_identity_module(path),
+    )
+    lines = source.splitlines()
+    for finding in raw:
+        disable = disables.get(finding.line)
+        if disable is not None and finding.code in disable.codes:
+            continue
+        findings.append(finding)
+    for finding in findings:
+        if 1 <= finding.line <= len(lines):
+            finding.snippet = lines[finding.line - 1].strip()
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path], config: LintConfig) -> Iterator[Path]:
+    """Yield the .py files under ``paths`` in deterministic sorted order."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS or part.startswith(".")
+                           for part in p.parts)
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or config.is_excluded(candidate):
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(paths: Sequence[Path], config: LintConfig) -> list[Finding]:
+    """Lint every Python file under ``paths``."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, config):
+        findings.extend(lint_source(path.read_text(), path, config))
+    return findings

@@ -31,7 +31,7 @@ from typing import Optional, Sequence
 from repro.baselines.base import Framework, InfeasibleScheduleError
 from repro.core.placement import GPUPlan, PlacedSegment, Placement
 from repro.core.service import Service
-from repro.gpu.mig import MigLayout, enumerate_configurations
+from repro.gpu.mig import enumerate_configurations
 from repro.profiler.table import ProfileEntry
 
 #: Over-allocation bias: fraction of an instance's *raw* throughput counted

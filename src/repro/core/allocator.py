@@ -34,7 +34,7 @@ Two stages:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.core.placement import GPUPlan, PlacedSegment, Placement
 from repro.core.segments import Segment

@@ -24,7 +24,7 @@ backends register themselves via :func:`register_geometry`; see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.gpu.slices import popcount, range_mask, slice_indices
 

@@ -62,7 +62,7 @@ class ReconfigurationCost:
             total_work_s=sum(c.total_work_s for c in costs),
             downtime_s={
                 sid: sum(c.downtime_s.get(sid, 0.0) for c in costs)
-                for sid in {k for c in costs for k in c.downtime_s}
+                for sid in sorted({k for c in costs for k in c.downtime_s})
             },
             shadow_gpus=max((c.shadow_gpus for c in costs), default=0),
         )

@@ -658,7 +658,7 @@ def run_identity_checked(
     sim_seed: int = 0,
     naive_sim: bool = True,
     workers: int = 0,
-    **controller_kwargs,
+    **controller_kwargs: object,
 ) -> tuple[OpsReport, OpsReport]:
     """Replay one timeline on the fast path *and* the naive reference.
 

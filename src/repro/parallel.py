@@ -101,7 +101,7 @@ class ShardPool:
     def __enter__(self) -> "ShardPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -110,7 +110,7 @@ class ShardPool:
 # --------------------------------------------------------------------- #
 
 
-def _score_triplets(job) -> list[tuple]:
+def _score_triplets(job: tuple[Any, Sequence[tuple[float, int]]]) -> list[tuple]:
     """Worker: score TRIPLETDECISION keys against a pickled profile table.
 
     Returns, per ``(slo_ms, max_processes)`` key, the chosen operating

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
 
@@ -13,6 +13,9 @@ from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
 from repro.sim.engine import EventQueue
 from repro.sim.metrics import BatchRecord, ServiceStats, SimulationReport
 from repro.sim.server import SegmentServer
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.sim.shard import ShardContext
 
 
 def segment_key(gpu_id: int, service_id: str, start: Optional[int]) -> str:
@@ -29,7 +32,7 @@ def simulate_placement(
     arrivals: str = "uniform",
     fast_path: bool = True,
     workers: int = 0,
-    shard_context=None,
+    shard_context: Optional["ShardContext"] = None,
 ) -> SimulationReport:
     """Drive ``placement`` with request traffic and measure serving quality.
 

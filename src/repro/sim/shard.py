@@ -40,7 +40,7 @@ against.
 
 from __future__ import annotations
 
-from typing import Iterable, NamedTuple, Optional
+from typing import Callable, Iterable, NamedTuple, Optional
 
 import numpy as np
 
@@ -141,7 +141,7 @@ class ShardContext:
     def __enter__(self) -> "ShardContext":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -232,7 +232,7 @@ def _simulate_sharded(
     seed: int,
     arrivals: str,
     ctx: ShardContext,
-    segment_key,
+    segment_key: Callable[[int, str, Optional[int]], str],
 ) -> SimulationReport:
     svc_by_id = {s.id: s for s in services}
     report = SimulationReport(duration_s=duration_s, warmup_s=warmup_s)

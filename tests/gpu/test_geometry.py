@@ -6,7 +6,6 @@ from repro.gpu.amd import MI300X_GEOMETRY
 from repro.gpu.generations import geometry_for_generation
 from repro.gpu.geometry import (
     PartitionLayout,
-    PlacedPartition,
     available_geometries,
     default_geometry,
     get_geometry,

@@ -7,6 +7,7 @@ from repro.gpu.reconfig import (
     CREATE_COST_S,
     DESTROY_COST_S,
     PROCESS_LAUNCH_COST_S,
+    ReconfigurationCost,
     ShadowBudget,
     price_plan,
 )
@@ -77,3 +78,37 @@ class TestShadowBudget:
         )
         assert not budget.admit(0.0, price_plan(plan))
         assert budget.peak_used == 0
+
+
+class TestCombine:
+    def test_combine_sums_work_and_downtime_maxes_shadow(self):
+        a = ReconfigurationCost(
+            total_work_s=1.0, downtime_s={"x": 1.0, "y": 0.5}, shadow_gpus=2
+        )
+        b = ReconfigurationCost(
+            total_work_s=2.0, downtime_s={"y": 0.25, "z": 3.0}, shadow_gpus=1
+        )
+        combined = ReconfigurationCost.combine([a, b])
+        assert combined.total_work_s == pytest.approx(3.0)
+        assert combined.downtime_s == {"x": 1.0, "y": 0.75, "z": 3.0}
+        assert combined.shadow_gpus == 2
+
+    def test_combine_key_order_is_sorted_not_hash_order(self):
+        # Regression (repro-lint D003): the combined downtime dict used to
+        # be keyed over a raw set comprehension, so its insertion order --
+        # and anything that later iterates or serializes it -- followed
+        # PYTHONHASHSEED.  The union must come out sorted regardless of
+        # the order the per-swap costs mention services in.
+        a = ReconfigurationCost(
+            total_work_s=0.0,
+            downtime_s={f"svc-{i}": 1.0 for i in (9, 3, 7)},
+            shadow_gpus=0,
+        )
+        b = ReconfigurationCost(
+            total_work_s=0.0,
+            downtime_s={f"svc-{i}": 1.0 for i in (1, 8, 3)},
+            shadow_gpus=0,
+        )
+        for costs in ([a, b], [b, a]):
+            combined = ReconfigurationCost.combine(costs)
+            assert list(combined.downtime_s) == sorted(combined.downtime_s)
