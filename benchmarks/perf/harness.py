@@ -34,6 +34,15 @@ Two suites, selected with ``--suite``:
   *and* simulation fingerprints must match.  Results — including the
   full per-interval report — land in ``BENCH_ops.json``.
 
+- ``serve``: the live-serving gateway tier.  Replays an S12 slice and
+  the full S16 flash-crowd session through the virtual-clock
+  ``ServeGateway`` at workers 0/1/2, asserting per-interval fingerprint
+  identity against the offline FleetController (any divergence is
+  fatal), then streams S16 live — 100 services through the scripted
+  driver on a scaled monotonic clock — recording per-event reaction
+  latency (p50/p95/p99) and verifying the recorded session's virtual
+  replay.  Results land in ``BENCH_serve.json``.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf/harness.py
@@ -87,6 +96,7 @@ DEFAULT_OUTS = {
     "schedule": pathlib.Path(__file__).parent / "BENCH_schedule.local.json",
     "simulate": pathlib.Path(__file__).parent / "BENCH_simulate.local.json",
     "ops": pathlib.Path(__file__).parent / "BENCH_ops.local.json",
+    "serve": pathlib.Path(__file__).parent / "BENCH_serve.local.json",
 }
 GEOMETRIES = ("mig", "mi300x", "mixed")
 
@@ -111,6 +121,15 @@ OPS_MEASURE_S = 0.25
 OPS_MEASURE_10K = 6.0
 OPS_WARMUP_S = 0.1
 OPS_WORKERS = 2
+
+#: The serve suite: (scenario, horizon cap) slices for the virtual-clock
+#: identity replays, the shard counts the gateway is checked at, and the
+#: live S16 session's clock compression / deadline budget.
+SERVE_SLICES = (("S12", 3 * 3600.0), ("S16", None))
+SERVE_MEASURE_S = 0.25
+SERVE_WORKERS = (1, 2)
+SERVE_TIME_SCALE = 600.0
+SERVE_DEADLINE_S = 0.25
 
 
 def _make_scheduler(geometry: str, fast_path: bool):
@@ -467,6 +486,184 @@ def run_ops_sweep(tiers, naive_cap, measure_s=None, workers=OPS_WORKERS):
     return rows
 
 
+def run_serve_sweep(workers_list=SERVE_WORKERS):
+    """The serve identity tier: virtual-clock gateway vs offline replay.
+
+    For each slice (an S12 prefix and the full S16 flash-crowd session)
+    the offline ``FleetController.run`` report is the reference; the
+    ``ServeGateway`` then replays the identical timeline under the
+    deterministic virtual clock — serial and at every shard count in
+    ``workers_list`` — and every interval's placement and simulation
+    fingerprints must match.  Any divergence is fatal: the gateway's
+    whole claim is that going live costs zero reproducibility.
+    """
+    from repro.ops import FleetController, OpsIdentityError
+    from repro.ops.controller import assert_reports_identical
+    from repro.scenarios.ops import OPS_SEED, ops_run
+    from repro.serve import replay_gateway
+
+    rows = []
+    for scenario, cap in SERVE_SLICES:
+        run = ops_run(scenario)
+        horizon = run.horizon_s if cap is None else min(cap, run.horizon_s)
+        events = sum(1 for e in run.timeline if e.time_s < horizon)
+        ctrl = FleetController(seed=OPS_SEED)
+        t0 = time.perf_counter()
+        offline = ctrl.run(
+            run.services,
+            run.timeline,
+            horizon,
+            measure_s=SERVE_MEASURE_S,
+            warmup_s=OPS_WARMUP_S,
+            sim_seed=OPS_SEED,
+        )
+        offline_wall = time.perf_counter() - t0
+        row = {
+            "scenario": "SERVE",
+            "tier": run.name,
+            "geometry": "mig",
+            "services": len(run.services),
+            "horizon_s": horizon,
+            "measure_s": SERVE_MEASURE_S,
+            "timeline_events": events,
+            "intervals": len(offline.intervals),
+            "mean_compliance": (
+                None
+                if offline.mean_compliance is None
+                else round(offline.mean_compliance, 6)
+            ),
+            "offline_wall_s": round(offline_wall, 6),
+            "replays": [],
+        }
+        for w in (0, *workers_list):
+            t0 = time.perf_counter()
+            report = replay_gateway(
+                run.services,
+                run.timeline,
+                horizon,
+                measure_s=SERVE_MEASURE_S,
+                warmup_s=OPS_WARMUP_S,
+                sim_seed=OPS_SEED,
+                deadline_budget_s=SERVE_DEADLINE_S,
+                seed=OPS_SEED,
+                workers=w,
+            )
+            wall = time.perf_counter() - t0
+            try:
+                assert_reports_identical(report, offline)
+            except OpsIdentityError as exc:
+                raise SystemExit(
+                    f"FATAL: virtual-clock gateway replay (workers={w}) "
+                    f"diverges from the offline controller on {run.name}: "
+                    f"{exc}"
+                )
+            row["replays"].append(
+                {"workers": w, "wall_s": round(wall, 6), "identical": True}
+            )
+        # the serial gateway replay is the baseline-checked wall-clock
+        row["gateway_wall_s"] = row["replays"][0]["wall_s"]
+        rows.append(row)
+        walls = "  ".join(
+            f"x{r['workers']} {r['wall_s']:.2f}s" for r in row["replays"]
+        )
+        compliance = (
+            f"compliance {100 * row['mean_compliance']:6.2f}%  "
+            if row["mean_compliance"] is not None
+            else ""
+        )
+        print(
+            f"  SERVE {run.name:<4} {row['intervals']:>3} intervals "
+            f"{events:>4} events  {compliance}offline "
+            f"{offline_wall:6.2f}s  gateway {walls}  (all identical)"
+        )
+    return rows
+
+
+def run_serve_live(time_scale=SERVE_TIME_SCALE):
+    """The live pass: stream S16 through a real-clock gateway session.
+
+    100 services, two simulated hours compressed by ``time_scale``,
+    steered by the scripted driver.  Records the gateway's health
+    counters and per-event reaction latency percentiles, then replays
+    the *recorded* session under the virtual clock against the offline
+    controller — live sessions must leave reproducible evidence behind.
+    """
+    import asyncio
+
+    from repro.ops import FleetController, OpsIdentityError
+    from repro.scenarios.ops import OPS_SEED, ops_run
+    from repro.serve import (
+        MonotonicClock,
+        ScriptedDriver,
+        ServeGateway,
+        replay_identity_checked,
+    )
+
+    run = ops_run("S16")
+    clock = MonotonicClock(time_scale=time_scale)
+    gateway = ServeGateway(
+        FleetController(seed=OPS_SEED),
+        run.services,
+        run.horizon_s,
+        clock,
+        measure_s=SERVE_MEASURE_S,
+        warmup_s=OPS_WARMUP_S,
+        sim_seed=OPS_SEED,
+        deadline_budget_s=SERVE_DEADLINE_S,
+    )
+    driver = ScriptedDriver(run.timeline)
+    t0 = time.perf_counter()
+    report = asyncio.run(gateway.run(driver.source(clock)))
+    wall = time.perf_counter() - t0
+    health = gateway.health
+    pct = health.reaction_percentiles()
+    try:
+        replay_identity_checked(
+            run.services,
+            tuple(driver.sent),
+            run.horizon_s,
+            measure_s=SERVE_MEASURE_S,
+            warmup_s=OPS_WARMUP_S,
+            sim_seed=OPS_SEED,
+            seed=OPS_SEED,
+        )
+    except OpsIdentityError as exc:
+        raise SystemExit(
+            f"FATAL: the recorded live S16 session does not replay "
+            f"identically offline: {exc}"
+        )
+    doc = {
+        "scenario": "S16",
+        "services": len(run.services),
+        "time_scale": time_scale,
+        "horizon_s": run.horizon_s,
+        "events_streamed": len(driver.sent),
+        "wall_s": round(wall, 6),
+        "mean_compliance": (
+            None
+            if report.mean_compliance is None
+            else round(report.mean_compliance, 6)
+        ),
+        "reaction_p50_ms": round(pct["p50_ms"], 3) if pct else None,
+        "reaction_p95_ms": round(pct["p95_ms"], 3) if pct else None,
+        "reaction_p99_ms": round(pct["p99_ms"], 3) if pct else None,
+        "recorded_replay_identical": True,
+        "health": health.to_doc(),
+    }
+    compliance = (
+        f"compliance {100 * doc['mean_compliance']:6.2f}%  "
+        if doc["mean_compliance"] is not None
+        else ""
+    )
+    print(
+        f"  LIVE  S16  {doc['events_streamed']} events in {wall:6.2f}s "
+        f"(x{time_scale:g} time)  {health.steps} steps  {compliance}"
+        f"reaction p50 {doc['reaction_p50_ms']} ms  "
+        f"p99 {doc['reaction_p99_ms']} ms  (recording replays identically)"
+    )
+    return doc
+
+
 def check_baseline(rows, baseline_path, max_regress, section, field):
     """Compare fast-path wall-clocks to the committed baseline (>Nx fails).
 
@@ -499,13 +696,15 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("schedule", "simulate", "ops"),
+        choices=("schedule", "simulate", "ops", "serve"),
         default="schedule",
         help="schedule: time the scheduler's fleet sweep (S9/S10); "
         "simulate: serve high-rate fleets through the simulation fast "
         "path (SIM tiers, S10 measured, S11); ops: drive fleets through "
         "a simulated day of failures/preemptions/churn with the "
-        "closed-loop FleetController (default: %(default)s)",
+        "closed-loop FleetController; serve: virtual-clock gateway "
+        "identity replays plus a live S16 session with reaction-latency "
+        "percentiles (default: %(default)s)",
     )
     parser.add_argument(
         "--tiers",
@@ -572,24 +771,35 @@ def main(argv=None):
         help="shard count for the parallel ops replay recorded next to "
         "the serial one (0 disables it; default: %(default)s)",
     )
+    parser.add_argument(
+        "--skip-live", action="store_true",
+        help="serve suite: skip the wall-clock live S16 session and "
+        "record only the virtual-clock identity replays",
+    )
+    parser.add_argument(
+        "--serve-time-scale", type=float, default=SERVE_TIME_SCALE,
+        help="serve suite: scenario seconds per wall second for the live "
+        "S16 session (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     default_tiers = {
         "schedule": FLEET_TIERS,
         "simulate": SIM_TIERS,
         "ops": OPS_TIERS,
+        "serve": (),
     }[args.suite]
     tiers = (
         [int(t) for t in args.tiers.split(",") if t]
         if args.tiers
         else list(default_tiers)
     )
-    if args.suite == "ops" and args.geometries is not None:
+    if args.suite in ("ops", "serve") and args.geometries is not None:
         # The FleetController runs one geometry per fleet and the ops
         # tiers are MIG-only; silently ignoring the flag would let a
         # user believe they benchmarked MI300X ops behavior.
-        parser.error("--geometries is not supported by the ops suite "
-                     "(MIG-only)")
+        parser.error(f"--geometries is not supported by the {args.suite} "
+                     "suite (MIG-only)")
     geometries = [
         g.strip()
         for g in (args.geometries or ",".join(GEOMETRIES)).split(",")
@@ -637,6 +847,24 @@ def main(argv=None):
         )
         doc["ops"] = rows
         section, field = "ops", "fast_wall_s"
+    elif args.suite == "serve":
+        slices = ", ".join(
+            name if cap is None else f"{name}[:{cap / 3600:g}h]"
+            for name, cap in SERVE_SLICES
+        )
+        print(
+            f"serve sweep: slices=({slices}) workers={SERVE_WORKERS} "
+            f"deadline={SERVE_DEADLINE_S}s (virtual-clock identity vs the "
+            f"offline FleetController, then a live S16 session)"
+        )
+        rows = run_serve_sweep()
+        doc["serve"] = rows
+        doc["live"] = (
+            None
+            if args.skip_live
+            else run_serve_live(time_scale=args.serve_time_scale)
+        )
+        section, field = "serve", "gateway_wall_s"
     else:
         print(
             f"simulate sweep: tiers={tiers} geometries={geometries} "

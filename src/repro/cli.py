@@ -13,11 +13,20 @@ Subcommands:
   report SLO compliance.
 - ``parvagpu scenarios`` — list every registered scenario (S1-S14) with
   service counts, models, total load, and supported geometries.
-- ``parvagpu ops --scenario s13 [--verify]`` — drive a fleet-operations
-  scenario (failures, preemption waves, churn, SLO renegotiation)
-  through the closed-loop FleetController and report what tenants
-  experienced; ``--verify`` additionally replays the identical timeline
-  on the naive reference machinery and asserts fingerprint identity.
+- ``parvagpu ops --scenario s13 [--verify] [--verify-every N]`` — drive
+  a fleet-operations scenario (failures, preemption waves, churn, SLO
+  renegotiation) through the closed-loop FleetController and report what
+  tenants experienced; ``--verify`` additionally replays the identical
+  timeline on the naive reference machinery and asserts fingerprint
+  identity (``--verify-every N`` samples the reference's serving
+  measurement to every Nth interval — the cheap smoke mode).
+  ``ops --live`` runs the same scenario through the live serve gateway
+  instead (scaled real time, scripted driver).
+- ``parvagpu serve --scenario S16 [--clock real|virtual]
+  [--time-scale X] [--deadline B]`` — the live-serving gateway: stream
+  the scenario's timeline through the async control loop, publish
+  status over local HTTP, optionally record the session and verify the
+  virtual replay against the offline controller (``--check-offline``).
 
 ``--geometry`` selects the partition geometry of the fleet: ``mig`` (the
 paper's A100 fleet, default), any other registered geometry name (e.g.
@@ -251,6 +260,167 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_gateway_session(
+    scenario: str,
+    seed: int | None,
+    horizon: float | None,
+    *,
+    virtual: bool,
+    time_scale: float,
+    measure: float,
+    warmup: float,
+    deadline: float | None,
+    workers: int,
+    port: int,
+    no_status: bool,
+    use_stdin: bool,
+    record: str | None,
+    check_offline: bool,
+) -> int:
+    """One serve-gateway session (shared by ``serve`` and ``ops --live``)."""
+    import asyncio
+
+    from repro.ops import FleetController, OpsIdentityError
+    from repro.scenarios.ops import OPS_SEED, ops_run
+    from repro.serve import (
+        MonotonicClock,
+        ScriptedDriver,
+        ServeGateway,
+        StatusServer,
+        VirtualClock,
+        replay_identity_checked,
+        stream_source,
+    )
+
+    seed = seed if seed is not None else OPS_SEED
+    try:
+        run = ops_run(scenario, seed=seed)
+        clock = (
+            VirtualClock()
+            if virtual
+            else MonotonicClock(time_scale=time_scale)
+        )
+        horizon = horizon if horizon is not None else run.horizon_s
+        controller = FleetController(seed=seed, workers=workers)
+        gateway = ServeGateway(
+            controller,
+            run.services,
+            horizon,
+            clock,
+            measure_s=measure,
+            warmup_s=warmup,
+            sim_seed=seed,
+            deadline_budget_s=deadline,
+            snapshot_every=0 if virtual else 1,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
+    driver = ScriptedDriver(e for e in run.timeline if e.time_s < horizon)
+    mode = "virtual replay" if virtual else f"live x{time_scale:g}"
+    print(
+        f"{run.name}: {len(run.services)} services, "
+        f"{len(driver.events)} scripted events over {horizon:g} s "
+        f"({mode})"
+    )
+
+    async def session():
+        server = None
+        if not no_status and not virtual:
+            server = StatusServer(gateway, port=port)
+            await server.start()
+            print(
+                f"status: http://127.0.0.1:{server.port}/report "
+                f"(and /health)"
+            )
+        try:
+            if use_stdin:
+                loop = asyncio.get_running_loop()
+                reader = asyncio.StreamReader()
+                protocol = asyncio.StreamReaderProtocol(reader)
+                await loop.connect_read_pipe(lambda: protocol, sys.stdin)
+                source = stream_source(reader)
+            else:
+                source = driver.source(clock)
+            return await gateway.run(source)
+        finally:
+            if server is not None:
+                await server.stop()
+
+    try:
+        report = asyncio.run(session())
+    except OpsIdentityError as exc:
+        print(f"IDENTITY CHECK FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {_unquote(exc)}", file=sys.stderr)
+        return 2
+
+    health = gateway.health
+    degraded = (
+        f", {health.deferrals} deferrals "
+        f"(max depth {health.max_deferred_depth}, "
+        f"{health.forced_flushes} forced flushes)"
+        if health.deferrals
+        else ""
+    )
+    print(
+        f"session: {health.steps} steps, {health.events_applied} events "
+        f"applied{degraded}"
+    )
+    if health.reactions_s:
+        pct = health.reaction_percentiles()
+        print(
+            f"reaction latency: p50 {pct['p50_ms']:.1f} ms, "
+            f"p95 {pct['p95_ms']:.1f} ms, p99 {pct['p99_ms']:.1f} ms"
+        )
+    if report.mean_compliance is not None:
+        print(
+            f"compliance: mean {100 * report.mean_compliance:.2f}%, "
+            f"min {100 * report.min_compliance:.2f}%"
+        )
+    if record and not use_stdin:
+        with open(record, "w", encoding="utf-8") as fh:
+            for line in driver.recorded_jsonl():
+                fh.write(line + "\n")
+        print(f"recorded session: {record} ({len(driver.sent)} events)")
+    if check_offline:
+        recorded = tuple(driver.sent) if not use_stdin else run.timeline
+        try:
+            replay_identity_checked(
+                run.services, recorded, horizon,
+                measure_s=measure, warmup_s=warmup, sim_seed=seed,
+                seed=seed,
+            )
+        except OpsIdentityError as exc:
+            print(f"IDENTITY CHECK FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            "identity: virtual-clock replay of the session matches the "
+            "offline FleetController on every interval"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    return _run_gateway_session(
+        args.scenario,
+        args.seed,
+        args.horizon,
+        virtual=args.clock == "virtual",
+        time_scale=args.time_scale,
+        measure=args.measure,
+        warmup=args.warmup,
+        deadline=args.deadline,
+        workers=args.workers,
+        port=args.port,
+        no_status=args.no_status,
+        use_stdin=args.stdin,
+        record=args.record,
+        check_offline=args.check_offline,
+    )
+
+
 def _cmd_ops(args: argparse.Namespace) -> int:
     from repro.ops import (
         FleetController,
@@ -259,6 +429,31 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     )
     from repro.scenarios.ops import OPS_SEED, ops_run
 
+    if args.live:
+        if args.verify or args.engine != "fast":
+            print("error: --live is a serve-gateway session; it cannot be "
+                  "combined with --verify or --engine", file=sys.stderr)
+            return 2
+        return _run_gateway_session(
+            args.scenario,
+            args.seed,
+            args.horizon,
+            virtual=False,
+            time_scale=args.time_scale,
+            measure=args.measure,
+            warmup=args.warmup,
+            deadline=None,
+            workers=args.workers,
+            port=0,
+            no_status=False,
+            use_stdin=False,
+            record=None,
+            check_offline=False,
+        )
+    if args.verify_every != 1 and not args.verify:
+        print("error: --verify-every only applies with --verify",
+              file=sys.stderr)
+        return 2
     if args.verify and args.engine != "fast":
         # --verify runs *both* engines and compares them; a user-chosen
         # engine would be silently meaningless there.
@@ -283,7 +478,8 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         if args.verify:
             report, _ = run_identity_checked(
                 run.services, run.timeline, horizon,
-                seed=seed, workers=args.workers, **kwargs,
+                seed=seed, workers=args.workers,
+                verify_every=args.verify_every, **kwargs,
             )
         else:
             ctrl = FleetController(
@@ -393,7 +589,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_scenarios)
 
     p = sub.add_parser(
-        "ops", help="drive a fleet-operations scenario (S12-S14)"
+        "ops", help="drive a fleet-operations scenario (S12-S16)"
     )
     p.add_argument("--scenario", default="S13")
     p.add_argument(
@@ -424,12 +620,98 @@ def build_parser() -> argparse.ArgumentParser:
         "assert per-interval fingerprint identity",
     )
     p.add_argument(
+        "--verify-every", type=int, default=1, dest="verify_every",
+        help="with --verify: sample the reference replay's serving "
+        "measurement to every Nth interval (placement fingerprints are "
+        "still checked everywhere; default: 1 = the full contract)",
+    )
+    p.add_argument(
+        "--live", action="store_true",
+        help="run the scenario through the live serve gateway instead "
+        "of the offline replay (scaled real time, scripted driver, "
+        "local status endpoint)",
+    )
+    p.add_argument(
+        "--time-scale", type=float, default=60.0, dest="time_scale",
+        help="with --live: scenario seconds per real second "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
         "--workers", type=int, default=0,
         help="shard the per-interval serving measurement (and replan "
         "triplet scoring) across N parallel workers; results are "
         "bit-identical to the serial path (default: 0 = serial)",
     )
     p.set_defaults(func=_cmd_ops)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the live-serving gateway (async control loop + status "
+        "endpoint) over an ops scenario",
+    )
+    p.add_argument("--scenario", default="S16")
+    p.add_argument(
+        "--clock", choices=("real", "virtual"), default="real",
+        help="real: live session on the monotonic clock (default); "
+        "virtual: deterministic replay, bit-identical to the offline "
+        "FleetController",
+    )
+    p.add_argument(
+        "--time-scale", type=float, default=60.0, dest="time_scale",
+        help="scenario seconds per real second under the real clock "
+        "(default: %(default)s)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=0.25,
+        help="per-step deadline budget in real seconds: full re-plans "
+        "lagging further than this are deferred and coalesced "
+        "(default: %(default)s)",
+    )
+    p.add_argument("--measure", type=float, default=0.25,
+                   help="seconds of serving simulated per interval "
+                   "(0 disables; default: %(default)s)")
+    p.add_argument("--warmup", type=float, default=0.1)
+    p.add_argument(
+        "--seed", type=int, default=None,
+        help="timeline + controller + simulation seed (default: the "
+        "scenario's committed seed)",
+    )
+    p.add_argument(
+        "--horizon", type=float, default=None,
+        help="truncate the session at this scenario time (default: the "
+        "scenario's full horizon)",
+    )
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="status endpoint port (default: 0 = ephemeral)",
+    )
+    p.add_argument(
+        "--no-status", action="store_true", dest="no_status",
+        help="disable the local HTTP status endpoint",
+    )
+    p.add_argument(
+        "--stdin", action="store_true",
+        help="consume line-delimited JSON events from stdin instead of "
+        "the scenario's scripted driver (the scenario still provides "
+        "the base fleet and horizon)",
+    )
+    p.add_argument(
+        "--record", default=None, metavar="FILE",
+        help="write the driver's emitted session as line-delimited JSON "
+        "(replayable with --clock virtual via the recorded timeline)",
+    )
+    p.add_argument(
+        "--check-offline", action="store_true", dest="check_offline",
+        help="after the session, replay it through the virtual-clock "
+        "gateway and assert per-interval fingerprint identity against "
+        "the offline FleetController",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="shard the per-interval serving measurement across N "
+        "parallel workers (default: 0 = serial)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("simulate", help="simulate serving a scenario")
     p.add_argument("--scenario", default="S2")

@@ -30,6 +30,7 @@ Scenarios S12-S14 (:mod:`repro.scenarios.ops`) package ready-made runs;
 from repro.ops.controller import (
     FleetController,
     OpsIdentityError,
+    OutOfOrderEventError,
     assert_reports_identical,
     run_identity_checked,
 )
@@ -49,6 +50,7 @@ from repro.ops.report import FailureRecord, IntervalRecord, OpsReport
 __all__ = [
     "FleetController",
     "OpsIdentityError",
+    "OutOfOrderEventError",
     "assert_reports_identical",
     "run_identity_checked",
     "OpsEvent",

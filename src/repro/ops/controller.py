@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -62,6 +63,40 @@ from repro.profiler.table import ProfileTable
 
 class OpsIdentityError(RuntimeError):
     """An identity check failed: incremental state diverged from reference."""
+
+
+class OutOfOrderEventError(ValueError):
+    """The step API received an instant or event that moves time backwards.
+
+    :meth:`FleetController.step` requires monotonically non-decreasing
+    instants and refuses events stamped *after* the instant they are
+    applied at — the two ways an unsorted input stream would silently
+    corrupt a replay.
+    """
+
+
+@dataclass
+class _RunState:
+    """Everything one begin()/step()/finish() cycle carries between steps."""
+
+    work: list[Service]
+    by_id: dict[str, Service]
+    report: OpsReport
+    horizon_s: float
+    measure_s: float
+    warmup_s: float
+    sim_seed: int
+    sim_fast: bool
+    check: bool
+    #: serve every Nth interval only (1 = every interval; the
+    #: ``--verify-every`` sampling knob for expensive dual replays)
+    measure_every: int
+    #: controller-scheduled events (wave restores): (key, seq, event)
+    pending: list[tuple[tuple[float, int, str], int, OpsEvent]] = field(
+        default_factory=list
+    )
+    last_t: Optional[float] = None
+    steps: int = 0
 
 
 class FleetController:
@@ -117,6 +152,9 @@ class FleetController:
         self._shard_ctx = None
         #: failure event_id -> the GPU id the draw resolved to
         self._eid_to_gpu: dict[str, int] = {}
+        #: the active begin()/step()/finish() cycle, if any
+        self._run: Optional[_RunState] = None
+        self._pending_seq = 0
         self._reset_deployment()
 
     def _reset_deployment(self) -> None:
@@ -140,30 +178,35 @@ class FleetController:
         self._eid_to_gpu = {}
 
     # ------------------------------------------------------------------ #
-    # the run loop
+    # the re-entrant step API
     # ------------------------------------------------------------------ #
 
-    def run(
+    def begin(
         self,
         services: Sequence[Service],
-        timeline: Iterable[OpsEvent],
         horizon_s: float,
         measure_s: float = 0.0,
         warmup_s: float = 0.1,
         sim_seed: int = 0,
         sim_fast_path: Optional[bool] = None,
         check: bool = True,
+        measure_every: int = 1,
     ) -> OpsReport:
-        """Drive ``services`` through ``timeline`` until ``horizon_s``.
+        """Open a run: fresh deployment state, an empty report, no steps.
 
-        With ``measure_s > 0`` every interval's deployment is *served*
-        for that long (after ``warmup_s`` of warmup) and per-tenant SLO
-        compliance is recorded.  ``sim_fast_path`` defaults to the
-        controller's own ``fast_path``, so a naive-reference replay also
-        exercises the event-driven simulation engine.
+        The returned :class:`OpsReport` is *live* — :meth:`step` appends
+        to it in place, so a long-running caller (the serve gateway) can
+        snapshot it between steps.  ``measure_every`` samples serving
+        measurement to every Nth interval (1 = every interval).
         """
+        if self._run is not None:
+            raise RuntimeError(
+                "a run is already active on this controller; call finish()"
+            )
         if horizon_s <= 0:
             raise ValueError("horizon must be positive")
+        if measure_every < 1:
+            raise ValueError("measure_every must be >= 1")
         self._reset_deployment()
         sim_fast = self.fast_path if sim_fast_path is None else sim_fast_path
         # Private copies: the run rewrites rates/SLOs/plan state, and
@@ -181,22 +224,14 @@ class FleetController:
         by_id = {s.id: s for s in work}
         if len(by_id) != len(work):
             raise ValueError("duplicate service ids")
-
-        static = sorted(
-            (e for e in timeline if e.time_s < horizon_s), key=timeline_key
-        )
-        si = 0
-        #: controller-scheduled events (wave restores); (key, seq, event)
-        pending: list[tuple[tuple[float, int, str], int, OpsEvent]] = []
-        self._pending_seq = 0
-        self._eid_to_gpu = {}
         report = OpsReport(
             horizon_s=horizon_s,
             geometry=self.geometry.name,
             fast_path=self.fast_path,
             workers=self.workers,
         )
-
+        self._pending_seq = 0
+        self._eid_to_gpu = {}
         if self.workers >= 1:
             from repro.sim.shard import ShardContext
 
@@ -205,43 +240,188 @@ class FleetController:
             # only perturbs a handful of services, so most segments
             # resolve from cache and only the changed ones are shipped.
             self._shard_ctx = ShardContext(self.workers)
+        self._run = _RunState(
+            work=work,
+            by_id=by_id,
+            report=report,
+            horizon_s=horizon_s,
+            measure_s=measure_s,
+            warmup_s=warmup_s,
+            sim_seed=sim_seed,
+            sim_fast=sim_fast,
+            check=check,
+            measure_every=measure_every,
+        )
+        return report
+
+    def _require_run(self) -> _RunState:
+        if self._run is None:
+            raise RuntimeError("no active run; call begin() first")
+        return self._run
+
+    def step(self, t: float, events: Sequence[OpsEvent] = ()) -> IntervalRecord:
+        """Apply one instant's event batch and record the interval.
+
+        Instants must be monotonically non-decreasing across steps, and
+        every event must be stamped at or before the instant it is
+        applied at; violating either raises
+        :class:`OutOfOrderEventError` (the run loop used to silently
+        assume sorted input).  Events inside the batch are applied in
+        :func:`~repro.ops.events.timeline_key` order regardless of the
+        order given.
+
+        The previous interval's duration is closed off as ``t`` minus
+        its instant; the new interval provisionally extends to the
+        horizon until a later step (or nothing) supersedes it — interval
+        accounting therefore never looks ahead, which is what lets a
+        live gateway drive this API one instant at a time.
+        """
+        run = self._require_run()
+        if t < 0:
+            raise ValueError("step instant must be non-negative")
+        if t >= run.horizon_s:
+            raise ValueError(
+                f"step instant t={t:g} is at or beyond the horizon "
+                f"({run.horizon_s:g} s)"
+            )
+        if run.last_t is not None and t < run.last_t:
+            raise OutOfOrderEventError(
+                f"step instant t={t:g} precedes the already-applied instant "
+                f"t={run.last_t:g}; instants must be monotonically "
+                "non-decreasing"
+            )
+        batch = sorted(events, key=timeline_key)
+        for e in batch:
+            if e.time_s > t:
+                raise OutOfOrderEventError(
+                    f"{e.kind} stamped time_s={e.time_s:g} cannot apply at "
+                    f"the earlier instant t={t:g}"
+                )
+        if run.report.intervals:
+            prev = run.report.intervals[-1]
+            prev.duration_s = t - prev.time_s
+        record = self._apply_batch(
+            t, batch, run.work, run.by_id, run.report, run.pending
+        )
+        if run.check:
+            self._check_state(run.work)
+        placement = self.manager.current
+        record.fingerprint = placement.fingerprint()
+        if run.measure_s > 0 and run.steps % run.measure_every == 0:
+            self._measure(
+                record, placement, run.work, run.measure_s, run.warmup_s,
+                run.sim_seed, run.sim_fast,
+            )
+        record.duration_s = run.horizon_s - t
+        run.report.intervals.append(record)
+        run.last_t = t
+        run.steps += 1
+        return record
+
+    def pending_due(self, t: float) -> list[OpsEvent]:
+        """Pop controller-scheduled events (wave restores) due at ``t``."""
+        run = self._require_run()
+        out: list[OpsEvent] = []
+        while run.pending and run.pending[0][0][0] <= t:
+            out.append(heappop(run.pending)[2])
+        return out
+
+    def next_pending_time(self) -> Optional[float]:
+        """Earliest controller-scheduled event time, or None."""
+        run = self._require_run()
+        return run.pending[0][0][0] if run.pending else None
+
+    def would_full_replan(self, events: Iterable[OpsEvent]) -> bool:
+        """Would this batch take the full re-schedule path if stepped now?
+
+        The serve gateway's deadline scheduler asks this *before*
+        committing to a step, so it can defer an expensive full re-plan
+        past a blown budget; the predicate is exactly the branch
+        :meth:`step` takes.
+        """
+        run = self._require_run()
+        if self.manager.current is None:
+            return True
+        structural = sum(
+            1
+            for e in events
+            if isinstance(e, (ServiceDeparture, ServiceArrival))
+        )
+        return structural > self.full_replan_fraction * max(1, len(run.work))
+
+    def finish(self) -> OpsReport:
+        """Close the run and return its report.
+
+        The last interval keeps its provisional duration (to the
+        horizon); the final deployment stays inspectable on
+        ``self.manager`` until the next :meth:`begin`.
+        """
+        run = self._require_run()
+        if self._shard_ctx is not None:
+            self._shard_ctx.close()
+            self._shard_ctx = None
+        self._run = None
+        return run.report
+
+    # ------------------------------------------------------------------ #
+    # the offline run loop (a driver over the step API)
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        services: Sequence[Service],
+        timeline: Iterable[OpsEvent],
+        horizon_s: float,
+        measure_s: float = 0.0,
+        warmup_s: float = 0.1,
+        sim_seed: int = 0,
+        sim_fast_path: Optional[bool] = None,
+        check: bool = True,
+        measure_every: int = 1,
+    ) -> OpsReport:
+        """Drive ``services`` through ``timeline`` until ``horizon_s``.
+
+        With ``measure_s > 0`` every ``measure_every``-th interval's
+        deployment is *served* for that long (after ``warmup_s`` of
+        warmup) and per-tenant SLO compliance is recorded.
+        ``sim_fast_path`` defaults to the controller's own ``fast_path``,
+        so a naive-reference replay also exercises the event-driven
+        simulation engine.
+        """
+        report = self.begin(
+            services,
+            horizon_s,
+            measure_s=measure_s,
+            warmup_s=warmup_s,
+            sim_seed=sim_seed,
+            sim_fast_path=sim_fast_path,
+            check=check,
+            measure_every=measure_every,
+        )
         try:
+            static = sorted(
+                (e for e in timeline if e.time_s < horizon_s), key=timeline_key
+            )
+            si = 0
             t = 0.0  # the bootstrap interval exists even on an empty timeline
             while True:
                 batch: list[OpsEvent] = []
                 while si < len(static) and static[si].time_s <= t:
                     batch.append(static[si])
                     si += 1
-                while pending and pending[0][0][0] <= t:
-                    batch.append(heappop(pending)[2])
-                batch.sort(key=timeline_key)
-
-                record = self._apply_batch(t, batch, work, by_id, report, pending)
-
-                if check:
-                    self._check_state(work)
-                placement = self.manager.current
-                record.fingerprint = placement.fingerprint()
-                if measure_s > 0:
-                    self._measure(
-                        record, placement, work, measure_s, warmup_s, sim_seed,
-                        sim_fast,
-                    )
+                batch.extend(self.pending_due(t))
+                self.step(t, batch)
                 next_times = []
                 if si < len(static):
                     next_times.append(static[si].time_s)
-                if pending:
-                    next_times.append(pending[0][0][0])
-                nt = min(next_times) if next_times else None
-                record.duration_s = (horizon_s - t) if nt is None else (nt - t)
-                report.intervals.append(record)
-                if nt is None:
+                pt = self.next_pending_time()
+                if pt is not None:
+                    next_times.append(pt)
+                if not next_times:
                     break
-                t = nt
+                t = min(next_times)
         finally:
-            if self._shard_ctx is not None:
-                self._shard_ctx.close()
-                self._shard_ctx = None
+            report = self.finish()
         return report
 
     # ------------------------------------------------------------------ #
@@ -603,26 +783,24 @@ class FleetController:
         sim_seed: int,
         sim_fast: bool,
     ) -> None:
-        from repro.sim.runner import simulate_placement
+        from repro.sim.runner import measure_interval
 
-        sim = simulate_placement(
+        m = measure_interval(
             placement,
             work,
-            duration_s=warmup_s + measure_s,
+            measure_s=measure_s,
             warmup_s=warmup_s,
             seed=sim_seed,
             fast_path=sim_fast,
             workers=self.workers if sim_fast else 0,
             shard_context=self._shard_ctx if sim_fast else None,
         )
-        record.compliance = sim.overall_compliance
-        record.sim_fingerprint = sim.fingerprint()
-        per = {sid: st.compliance for sid, st in sim.services.items()}
-        record.per_service_compliance = per
-        if per:
-            worst = min(per, key=lambda sid: per[sid])
-            record.worst_service = worst
-            record.worst_service_compliance = per[worst]
+        record.compliance = m.compliance
+        record.sim_fingerprint = m.fingerprint
+        record.per_service_compliance = m.per_service
+        if m.per_service:
+            record.worst_service = m.worst_service
+            record.worst_service_compliance = m.worst_compliance
 
 
 def assert_reports_identical(fast: OpsReport, naive: OpsReport) -> None:
@@ -643,7 +821,13 @@ def assert_reports_identical(fast: OpsReport, naive: OpsReport) -> None:
             raise OpsIdentityError(
                 f"placement fingerprints diverge at t={a.time_s}"
             )
-        if a.sim_fingerprint != b.sim_fingerprint:
+        # Intervals one side skipped (``measure_every`` sampling) carry
+        # no stats fingerprint; the contract binds the measured pairs.
+        if (
+            a.sim_fingerprint is not None
+            and b.sim_fingerprint is not None
+            and a.sim_fingerprint != b.sim_fingerprint
+        ):
             raise OpsIdentityError(
                 f"simulation fingerprints diverge at t={a.time_s}"
             )
@@ -658,6 +842,7 @@ def run_identity_checked(
     sim_seed: int = 0,
     naive_sim: bool = True,
     workers: int = 0,
+    verify_every: int = 1,
     **controller_kwargs: object,
 ) -> tuple[OpsReport, OpsReport]:
     """Replay one timeline on the fast path *and* the naive reference.
@@ -674,8 +859,17 @@ def run_identity_checked(
     that the sharded parallel control plane matches the serial reference
     machinery interval-for-interval.
 
+    ``verify_every=N`` samples the naive replay's *serving measurement*
+    to every Nth interval — the event-driven simulator dominates big
+    dual replays, so sampling buys a cheap smoke mode.  Placement
+    fingerprints are still checked at every interval; simulation
+    fingerprints at the sampled ones.  ``N=1`` (the default) is the full
+    contract, byte-identical to what this function always did.
+
     Returns ``(fast_report, naive_report)``.
     """
+    if verify_every < 1:
+        raise ValueError("verify_every must be >= 1")
     timeline = tuple(timeline)
     fast = FleetController(
         fast_path=True, workers=workers, **controller_kwargs
@@ -687,6 +881,7 @@ def run_identity_checked(
         services, timeline, horizon_s,
         measure_s=measure_s, warmup_s=warmup_s, sim_seed=sim_seed,
         sim_fast_path=None if naive_sim else True,
+        measure_every=verify_every,
     )
     assert_reports_identical(fast, naive)
     return fast, naive

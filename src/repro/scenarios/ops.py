@@ -1,5 +1,6 @@
 """Fleet-operations scenarios: S12 (tenant churn), S13 (chaos week),
-S14 (spot fleet with recovery), S15 (the 10k-service chaos week).
+S14 (spot fleet with recovery), S15 (the 10k-service chaos week),
+S16 (the live flash-crowd session).
 
 Each scenario is two things: a registry-visible :class:`Scenario` (its
 *base fleet*, resampled from Table IV like S9-S11, so ``parvagpu schedule
@@ -44,6 +45,8 @@ S14_FLEET_SIZE = 100
 S14_HORIZON_S = 12 * 3600.0  # half a day on spot capacity
 S15_FLEET_SIZE = 10_000
 S15_HORIZON_S = 7 * 86_400.0  # the 10k-service chaos week
+S16_FLEET_SIZE = 100
+S16_HORIZON_S = 2 * 3600.0  # a live flash-crowd session
 
 
 @dataclass(frozen=True)
@@ -202,11 +205,56 @@ def _s15_run(seed: int) -> OpsRun:
     )
 
 
+def _s16_run(seed: int) -> OpsRun:
+    """The live-serving demo: a 100-service fleet hit by flash crowds.
+
+    Built for the serve gateway (``parvagpu serve --scenario S16``): a
+    short two-hour session dense enough to watch live — diurnal rate
+    epochs, three flash crowds, and one mid-session GPU failure with
+    repair — while staying entirely on the cheap incremental paths, so
+    compliance holds >= 99% throughout.  The scripted driver streams
+    this timeline in session time; the recorded session replays
+    bit-identically under the virtual clock.
+    """
+    services = _base_services("S16")
+    traces = fleet_traces(
+        list(services),
+        epochs=8,
+        period_s=S16_HORIZON_S,
+        amplitude=0.3,
+        seed=seed,
+    )
+    timeline = merge_timeline(
+        rate_epochs(traces, horizon_s=S16_HORIZON_S),
+        flash_crowds(
+            traces,
+            horizon_s=S16_HORIZON_S,
+            num_crowds=3,
+            seed=seed,
+            duration_range_s=(600.0, 1_500.0),
+        ),
+        mtbf_failures(
+            horizon_s=S16_HORIZON_S,
+            mtbf_s=S16_HORIZON_S,  # ~one failure per session
+            seed=seed,
+            repair_s=1_800.0,
+        ),
+    )
+    return OpsRun(
+        name="S16",
+        description=OPS_SCENARIOS["S16"].description,
+        services=services,
+        timeline=timeline,
+        horizon_s=S16_HORIZON_S,
+    )
+
+
 _RUN_BUILDERS = {
     "S12": _s12_run,
     "S13": _s13_run,
     "S14": _s14_run,
     "S15": _s15_run,
+    "S16": _s16_run,
 }
 
 
@@ -320,6 +368,17 @@ OPS_SCENARIOS: dict[str, Scenario] = {
             f"FleetController))"
         ),
         loads=fleet_loads(S15_FLEET_SIZE, seed=OPS_SEED),
+    ),
+    "S16": Scenario(
+        name="S16",
+        description=(
+            f"Live flash-crowd session: {S16_FLEET_SIZE} services through "
+            f"{S16_HORIZON_S / 3600:g} h of rate epochs, three flash "
+            f"crowds and one GPU failure with repair — the serve "
+            f"gateway's demo workload (parvagpu serve --scenario S16; "
+            f"ops_run('S16'))"
+        ),
+        loads=fleet_loads(S16_FLEET_SIZE, seed=OPS_SEED),
     ),
 }
 

@@ -1,0 +1,94 @@
+"""The ordered intake queue between event sources and the control loop.
+
+Sources push events as they surface; the gateway pops the batch *due*
+at each stepping instant.  Ordering reuses the timeline contract —
+entries sort by :func:`~repro.ops.events.timeline_key`, ties broken by
+arrival sequence — so popping due events off a live stream yields
+exactly the batches :func:`~repro.ops.events.merge_timeline` would have
+produced from the same events offline (the property the virtual-clock
+replay identity rests on).
+
+Each entry remembers the work-stopwatch reading at push time
+(:class:`IntakeItem.enqueued_at`), which is what per-event reaction
+latency is measured against in live mode (always ``0.0`` under the
+virtual clock).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Optional
+
+from repro.ops.events import OpsEvent, timeline_key
+
+
+@dataclass(frozen=True)
+class IntakeItem:
+    """One queued event plus its arrival bookkeeping."""
+
+    event: OpsEvent
+    #: work-stopwatch reading (:meth:`Clock.work_seconds`) at push time
+    enqueued_at: float = 0.0
+
+
+class IntakeQueue:
+    """Heap of pending events in deterministic timeline order."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, str], int, IntakeItem]] = []
+        self._seq = 0
+        self._arrived = asyncio.Event()
+        self._closed = False
+        #: events accepted so far (monotonic; popped events still count)
+        self.accepted = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        """True once the feeding source reached EOF (no more pushes)."""
+        return self._closed
+
+    def push(self, event: OpsEvent, enqueued_at: float = 0.0) -> None:
+        """Queue one event; wakes any waiter in :meth:`wait_arrival`."""
+        if self._closed:
+            raise RuntimeError("intake queue is closed")
+        heappush(
+            self._heap,
+            (timeline_key(event), self._seq, IntakeItem(event, enqueued_at)),
+        )
+        self._seq += 1
+        self.accepted += 1
+        self._arrived.set()
+
+    def pop_due(self, t: float) -> list[IntakeItem]:
+        """Remove and return every queued event stamped at or before ``t``,
+        in timeline order."""
+        out: list[IntakeItem] = []
+        while self._heap and self._heap[0][0][0] <= t:
+            out.append(heappop(self._heap)[2])
+        return out
+
+    def next_time(self) -> Optional[float]:
+        """Earliest queued event time, or None when empty."""
+        return self._heap[0][0][0] if self._heap else None
+
+    def close(self) -> None:
+        """Mark the stream ended; wakes any waiter so it can observe EOF."""
+        self._closed = True
+        self._arrived.set()
+
+    async def wait_arrival(self) -> None:
+        """Block until a push (or :meth:`close`) happens.
+
+        Pushes that occurred since the last call count — the internal
+        event stays set until a waiter consumes it — so callers never
+        miss an arrival; they re-examine :meth:`next_time` /
+        :attr:`closed` after waking.
+        """
+        await self._arrived.wait()
+        if not self._closed:
+            self._arrived.clear()

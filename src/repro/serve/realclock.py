@@ -1,0 +1,44 @@
+"""The live clock: scenario time backed by the monotonic wall clock.
+
+This is the **only** module in :mod:`repro.serve` allowed to read the
+wall clock (the repro-lint D002 allowlist names exactly this file).
+Everything else — the gateway loop, the intake queue, the deadline
+scheduler — takes time from the :class:`~repro.serve.clock.Clock`
+interface, so the identical code path replays deterministically under a
+:class:`~repro.serve.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.serve.clock import Clock
+
+
+class MonotonicClock(Clock):
+    """Scenario time = scaled monotonic seconds since construction.
+
+    ``time_scale`` is scenario seconds per real second: ``10.0`` runs a
+    session ten times faster than real time (a one-hour scenario demos
+    in six minutes), ``1.0`` is real time.
+    """
+
+    is_virtual = False
+
+    def __init__(self, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time scale must be positive")
+        self.time_scale = time_scale
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return (time.monotonic() - self._origin) * self.time_scale
+
+    async def sleep_until(self, t: float) -> None:
+        delay = (t - self.now()) / self.time_scale
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    def work_seconds(self) -> float:
+        return time.monotonic()

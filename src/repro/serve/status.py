@@ -1,0 +1,94 @@
+"""The live status surface: a minimal local HTTP endpoint.
+
+:class:`StatusServer` serves a running gateway's state as JSON over a
+loopback TCP socket (pure asyncio — no HTTP framework, and nothing here
+reads the wall clock):
+
+- ``GET /report`` (or ``/``) — the periodically materialized
+  :class:`~repro.ops.report.OpsReport` snapshot plus health signals
+  (the gateway refreshes it every ``snapshot_every`` steps, so a
+  request is O(1) and reads are bounded-stale, never torn);
+- ``GET /health`` — just the degradation signals
+  (:class:`~repro.serve.gateway.GatewayHealth`), rebuilt per request.
+
+One request per connection (``Connection: close``) keeps the protocol
+trivially correct for ``curl`` and the CLI's own probes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.serve.gateway import ServeGateway
+
+
+class StatusServer:
+    """Serves one gateway's snapshot and health over local HTTP."""
+
+    def __init__(
+        self,
+        gateway: ServeGateway,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = gateway
+        self.host = host
+        #: requested port (0 = ephemeral); the bound port after start()
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise RuntimeError("status server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await reader.readline()
+            while True:  # drain request headers up to the blank line
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request.decode("latin-1").split()
+            method = parts[0] if parts else ""
+            path = parts[1] if len(parts) > 1 else "/"
+            if method != "GET":
+                status, doc = "405 Method Not Allowed", {"error": "GET only"}
+            elif path in ("/", "/report"):
+                status, doc = "200 OK", self.gateway.snapshot()
+            elif path == "/health":
+                status, doc = "200 OK", dict(self.gateway.health.to_doc())
+            else:
+                status, doc = "404 Not Found", {"error": f"no route {path}"}
+            body = json.dumps(doc, sort_keys=True).encode("utf-8")
+            writer.write(
+                f"HTTP/1.1 {status}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n".encode("latin-1")
+            )
+            writer.write(body)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

@@ -22,7 +22,11 @@ from repro.sim.arrivals import poisson_arrivals
 from repro.sim.batching import BatchPolicy
 from repro.sim.server import SegmentServer
 from repro.sim.metrics import BatchRecord, SimulationReport
-from repro.sim.runner import simulate_placement
+from repro.sim.runner import (
+    IntervalMeasurement,
+    measure_interval,
+    simulate_placement,
+)
 from repro.sim.fastpath import simulate_placement_fast
 
 __all__ = [
@@ -32,6 +36,8 @@ __all__ = [
     "SegmentServer",
     "BatchRecord",
     "SimulationReport",
+    "IntervalMeasurement",
+    "measure_interval",
     "simulate_placement",
     "simulate_placement_fast",
 ]

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional
 
 import numpy as np
 
@@ -21,6 +22,70 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
 def segment_key(gpu_id: int, service_id: str, start: Optional[int]) -> str:
     """Canonical key shared with :mod:`repro.metrics.slack`."""
     return f"gpu{gpu_id}/{service_id}/{'mps' if start is None else start}"
+
+
+@dataclass(frozen=True)
+class IntervalMeasurement:
+    """One interval's serving quality, as both control loops consume it.
+
+    The offline :class:`~repro.ops.controller.FleetController` and the
+    live serve gateway measure intervals through the same call
+    (:func:`measure_interval`), so the numbers a live status endpoint
+    publishes are definitionally the numbers an offline replay records.
+    """
+
+    compliance: float
+    fingerprint: str
+    #: service id -> measured compliance, in simulator insertion order
+    per_service: Mapping[str, float]
+
+    @property
+    def worst_service(self) -> Optional[str]:
+        if not self.per_service:
+            return None
+        return min(self.per_service, key=lambda sid: self.per_service[sid])
+
+    @property
+    def worst_compliance(self) -> Optional[float]:
+        worst = self.worst_service
+        return None if worst is None else self.per_service[worst]
+
+
+def measure_interval(
+    placement: Placement,
+    services: Iterable[Service],
+    measure_s: float,
+    warmup_s: float = 0.1,
+    seed: int = 0,
+    fast_path: bool = True,
+    workers: int = 0,
+    shard_context: Optional["ShardContext"] = None,
+) -> IntervalMeasurement:
+    """Serve ``placement`` for ``measure_s`` and distill interval stats.
+
+    A thin shim over :func:`simulate_placement` (warmup + measurement
+    window, same engine/sharding switches) that reduces the full
+    :class:`~repro.sim.metrics.SimulationReport` to the per-interval
+    record the control loops keep: overall + per-tenant compliance and
+    the stats fingerprint the identity checks compare.
+    """
+    sim = simulate_placement(
+        placement,
+        services,
+        duration_s=warmup_s + measure_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        fast_path=fast_path,
+        workers=workers,
+        shard_context=shard_context,
+    )
+    return IntervalMeasurement(
+        compliance=sim.overall_compliance,
+        fingerprint=sim.fingerprint(),
+        per_service={
+            sid: st.compliance for sid, st in sim.services.items()
+        },
+    )
 
 
 def simulate_placement(

@@ -311,3 +311,112 @@ class TestRetiredIdReservation:
             g.gpu_id == restored_id and not g.is_empty
             for g in ctrl.manager.current.gpus
         )
+
+
+class TestStepApiOrdering:
+    """The re-entrant step API refuses to move time backwards."""
+
+    def test_backwards_instant_raises(self, profiles, services):
+        from repro.ops import OutOfOrderEventError
+
+        ctrl = controller(profiles)
+        ctrl.begin(services, horizon_s=100.0)
+        ctrl.step(0.0)
+        ctrl.step(50.0)
+        with pytest.raises(OutOfOrderEventError, match="non-decreasing"):
+            ctrl.step(25.0)
+        ctrl.finish()
+
+    def test_same_instant_is_allowed(self, profiles, services):
+        """Non-decreasing, not strictly increasing: a live gateway may
+        clamp a late event onto the last applied instant."""
+        ctrl = controller(profiles)
+        ctrl.begin(services, horizon_s=100.0)
+        ctrl.step(0.0)
+        ctrl.step(50.0)
+        ctrl.step(50.0, [RateEpoch(time_s=10.0, service_id="a", rate=1.0)])
+        report = ctrl.finish()
+        assert [r.time_s for r in report.intervals] == [0.0, 50.0, 50.0]
+
+    def test_event_stamped_after_instant_raises(self, profiles, services):
+        from repro.ops import OutOfOrderEventError
+
+        ctrl = controller(profiles)
+        ctrl.begin(services, horizon_s=100.0)
+        ctrl.step(0.0)
+        future = RateEpoch(time_s=80.0, service_id="a", rate=1.0)
+        with pytest.raises(OutOfOrderEventError, match="cannot apply"):
+            ctrl.step(50.0, [future])
+        ctrl.finish()
+
+    def test_step_beyond_horizon_raises(self, profiles, services):
+        ctrl = controller(profiles)
+        ctrl.begin(services, horizon_s=100.0)
+        with pytest.raises(ValueError, match="beyond the horizon"):
+            ctrl.step(100.0)
+        ctrl.finish()
+
+    def test_begin_step_finish_matches_run(self, profiles, services):
+        """Driving the step API by hand is the run loop, bit for bit."""
+        timeline = merge_timeline(
+            [GpuFailure(time_s=20.0, event_id="f0", draw=0.3)],
+            [RateEpoch(time_s=60.0, service_id="b", rate=8000.0)],
+        )
+        offline = controller(profiles).run(
+            services, timeline, horizon_s=100.0, measure_s=0.2
+        )
+        ctrl = controller(profiles)
+        ctrl.begin(services, horizon_s=100.0, measure_s=0.2)
+        ctrl.step(0.0)
+        ctrl.step(20.0, [timeline[0]])
+        ctrl.step(60.0, [timeline[1]])
+        manual = ctrl.finish()
+        assert manual.to_doc() == offline.to_doc()
+
+
+class TestVerifyEverySampling:
+    """--verify-every N: sampled dual-replay smoke mode."""
+
+    def timeline(self):
+        return merge_timeline(
+            [GpuFailure(time_s=20.0, event_id="f0", draw=0.4)],
+            [RateEpoch(time_s=40.0, service_id="a", rate=6000.0)],
+            [RateEpoch(time_s=60.0, service_id="b", rate=2000.0)],
+            [GpuRecovery(time_s=80.0, ref="f0")],
+        )
+
+    def test_default_is_the_full_contract(self, profiles, services):
+        """N=1 is byte-identical to what run_identity_checked always
+        did: the naive reference measures every interval."""
+        kwargs = dict(
+            services=services, timeline=self.timeline(), horizon_s=100.0,
+            measure_s=0.2, profiles=profiles,
+        )
+        fast_a, naive_a = run_identity_checked(**kwargs)
+        fast_b, naive_b = run_identity_checked(verify_every=1, **kwargs)
+        assert fast_a.to_doc() == fast_b.to_doc()
+        assert naive_a.to_doc() == naive_b.to_doc()
+        assert all(r.sim_fingerprint for r in naive_a.intervals)
+
+    def test_sampling_skips_reference_measurement(self, profiles, services):
+        fast, naive = run_identity_checked(
+            services, self.timeline(), horizon_s=100.0, measure_s=0.2,
+            verify_every=3, profiles=profiles,
+        )
+        # the fast replay still measures everywhere...
+        assert all(r.sim_fingerprint for r in fast.intervals)
+        # ...the reference only at sampled steps (1 of 3 here), and the
+        # sampled ones still matched or the call would have raised
+        measured = [bool(r.sim_fingerprint) for r in naive.intervals]
+        assert measured == [True, False, False, True, False]
+        # placement identity was checked at *every* interval regardless
+        assert [r.fingerprint for r in fast.intervals] == [
+            r.fingerprint for r in naive.intervals
+        ]
+
+    def test_verify_every_validation(self, profiles, services):
+        with pytest.raises(ValueError, match="verify_every"):
+            run_identity_checked(
+                services, (), horizon_s=10.0, verify_every=0,
+                profiles=profiles,
+            )

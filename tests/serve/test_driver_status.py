@@ -1,0 +1,150 @@
+"""Scripted drivers (record + replay) and the HTTP status surface."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.service import Service
+from repro.ops import FleetController
+from repro.ops.events import RateEpoch, ServiceArrival, merge_timeline
+from repro.serve import (
+    ScriptedDriver,
+    ServeGateway,
+    StatusServer,
+    VirtualClock,
+    decode_event,
+    replay_identity_checked,
+    scripted_source,
+    timeline_source,
+)
+
+
+@pytest.fixture
+def services():
+    return [
+        Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+        Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+    ]
+
+
+def timeline():
+    return merge_timeline(
+        [RateEpoch(time_s=30.0, service_id="a", rate=6000.0)],
+        [ServiceArrival(time_s=50.0, service_id="n", model="vgg-16",
+                        request_rate=400.0, slo_latency_ms=350.0)],
+        [RateEpoch(time_s=10.0, service_id="b", rate=1000.0)],
+    )
+
+
+def drain(source):
+    async def go():
+        return [e async for e in source]
+
+    return asyncio.run(go())
+
+
+class TestScriptedDriver:
+    def test_events_sorted_on_construction(self):
+        driver = ScriptedDriver(reversed(timeline()))
+        assert [e.time_s for e in driver.events] == [10.0, 30.0, 50.0]
+
+    def test_scripted_source_paces_by_clock(self):
+        clock = VirtualClock()
+        emitted = drain(scripted_source(timeline(), clock))
+        assert [e.time_s for e in emitted] == [10.0, 30.0, 50.0]
+        assert clock.now() == 50.0  # slept up to the last stamp
+
+    def test_driver_records_what_it_sent(self):
+        driver = ScriptedDriver(timeline())
+        clock = VirtualClock()
+        emitted = drain(driver.source(clock))
+        assert driver.sent == emitted == list(driver.events)
+
+    def test_recorded_jsonl_round_trips(self):
+        driver = ScriptedDriver(timeline())
+        drain(driver.source(VirtualClock()))
+        decoded = [decode_event(line) for line in driver.recorded_jsonl()]
+        assert decoded == driver.sent
+
+    def test_recorded_session_replays_identically(self, profiles, services):
+        """The full loop: drive a session, record it, and verify the
+        recording against the offline controller."""
+        driver = ScriptedDriver(timeline())
+        gateway = ServeGateway(
+            FleetController(profiles), services, 100.0, VirtualClock(),
+            measure_s=0.1,
+        )
+        asyncio.run(gateway.run(driver.source(gateway.clock)))
+        recorded = [decode_event(line) for line in driver.recorded_jsonl()]
+        replay_identity_checked(
+            services, recorded, 100.0, measure_s=0.1, profiles=profiles
+        )
+
+
+async def fetch(port, path, method="GET"):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body = data.partition(b"\r\n\r\n")
+    status = int(head.split()[1])
+    return status, body
+
+
+class TestStatusServer:
+    def run_gateway(self, profiles, services):
+        gateway = ServeGateway(
+            FleetController(profiles), services, 100.0, VirtualClock(),
+            measure_s=0.1,
+        )
+        asyncio.run(gateway.run(timeline_source(timeline())))
+        return gateway
+
+    def test_report_and_health_endpoints(self, profiles, services):
+        gateway = self.run_gateway(profiles, services)
+
+        async def scenario():
+            server = StatusServer(gateway)
+            await server.start()
+            try:
+                root = await fetch(server.port, "/")
+                report = await fetch(server.port, "/report")
+                health = await fetch(server.port, "/health")
+                missing = await fetch(server.port, "/nope")
+                bad_method = await fetch(server.port, "/report", "POST")
+            finally:
+                await server.stop()
+            return root, report, health, missing, bad_method
+
+        root, report, health, missing, bad_method = asyncio.run(scenario())
+        assert root[0] == report[0] == health[0] == 200
+        snap = json.loads(report[1])
+        assert snap == gateway.snapshot()
+        assert snap["report"]["intervals"]
+        doc = json.loads(health[1])
+        assert doc["steps"] == gateway.health.steps
+        assert missing[0] == 404
+        assert bad_method[0] == 405
+
+    def test_port_allocated_and_double_start_rejected(
+        self, profiles, services
+    ):
+        gateway = self.run_gateway(profiles, services)
+
+        async def scenario():
+            server = StatusServer(gateway)
+            await server.start()
+            try:
+                assert server.port > 0
+                with pytest.raises(RuntimeError):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())

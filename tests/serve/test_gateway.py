@@ -1,0 +1,301 @@
+"""The serve gateway: replay identity, the deadline scheduler, health."""
+
+import asyncio
+
+import pytest
+
+from repro.core.service import Service
+from repro.ops import FleetController
+from repro.ops.events import (
+    GpuFailure,
+    GpuRecovery,
+    RateEpoch,
+    ServiceArrival,
+    SpotPreemptionWave,
+    merge_timeline,
+)
+from repro.serve import (
+    IntakeItem,
+    ServeGateway,
+    VirtualClock,
+    replay_gateway,
+    replay_identity_checked,
+    timeline_source,
+)
+from repro.serve.clock import Clock
+
+
+@pytest.fixture
+def services():
+    return [
+        Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+        Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+        Service("c", "densenet-121", slo_latency_ms=200, request_rate=1500),
+    ]
+
+
+def busy_timeline():
+    """Every event family, including a wave whose restores land through
+    the controller's pending queue (the gateway must poll it)."""
+    return merge_timeline(
+        [GpuFailure(time_s=25.0, event_id="f0", draw=0.2)],
+        [SpotPreemptionWave(time_s=40.0, event_id="w0", fraction=0.1,
+                            draw=0.5, restore_delay_s=30.0)],
+        [RateEpoch(time_s=50.0, service_id="b", rate=9000.0)],
+        [ServiceArrival(time_s=60.0, service_id="n", model="resnet-101",
+                        request_rate=200.0, slo_latency_ms=300.0)],
+        [GpuRecovery(time_s=75.0, ref="f0")],
+    )
+
+
+def arrivals(t, n, start=0):
+    """``n`` same-instant arrivals: structural churn past the 50% full-
+    replan threshold of a three-service fleet."""
+    return [
+        ServiceArrival(time_s=t, service_id=f"new{start + i}",
+                       model="resnet-50", request_rate=300.0,
+                       slo_latency_ms=300.0)
+        for i in range(n)
+    ]
+
+
+class FakeLiveClock(Clock):
+    """Live-mode semantics with test-controlled time: ``now()`` starts
+    wherever the test pins it (creating lag against older event stamps)
+    and the work stopwatch ticks a fixed amount per read."""
+
+    is_virtual = False
+
+    def __init__(self, now=0.0):
+        self._now = now
+        self._work = 0.0
+
+    def now(self):
+        return self._now
+
+    async def sleep_until(self, t):
+        if t > self._now:
+            self._now = t
+        await asyncio.sleep(0)
+
+    def work_seconds(self):
+        self._work += 0.001
+        return self._work
+
+
+def run_live(profiles, services, events, clock, horizon_s=200.0, **kw):
+    gateway = ServeGateway(
+        FleetController(profiles), services, horizon_s, clock, **kw
+    )
+    report = asyncio.run(gateway.run(timeline_source(events)))
+    return gateway, report
+
+
+class TestReplayIdentity:
+    def test_replay_matches_offline_bit_for_bit(self, profiles, services):
+        """The acceptance property: the virtual-clock gateway's report
+        doc equals the offline controller's on the same timeline."""
+        timeline = busy_timeline()
+        gateway_report = replay_gateway(
+            services, timeline, 100.0, measure_s=0.2, profiles=profiles
+        )
+        offline = FleetController(profiles).run(
+            services, timeline, 100.0, measure_s=0.2
+        )
+        assert gateway_report.to_doc() == offline.to_doc()
+
+    def test_replay_identity_checked_passes(self, profiles, services):
+        gw, offline = replay_identity_checked(
+            services, busy_timeline(), 100.0, measure_s=0.2,
+            profiles=profiles,
+        )
+        assert [r.fingerprint for r in gw.intervals] == [
+            r.fingerprint for r in offline.intervals
+        ]
+        assert [r.sim_fingerprint for r in gw.intervals] == [
+            r.sim_fingerprint for r in offline.intervals
+        ]
+
+    def test_deadline_budget_never_defers_under_virtual_clock(
+        self, profiles, services
+    ):
+        """A replay spends zero work-seconds, so even a vanishingly small
+        budget defers nothing and identity still holds."""
+        timeline = merge_timeline(busy_timeline(), arrivals(30.0, 3))
+        controller = FleetController(profiles)
+        gateway = ServeGateway(
+            controller, services, 100.0, VirtualClock(),
+            measure_s=0.2, deadline_budget_s=1e-9,
+        )
+        report = asyncio.run(gateway.run(timeline_source(timeline)))
+        assert gateway.health.deferrals == 0
+        offline = FleetController(profiles).run(
+            services, timeline, 100.0, measure_s=0.2
+        )
+        assert report.to_doc() == offline.to_doc()
+
+    def test_empty_stream_still_bootstraps(self, profiles, services):
+        report = replay_gateway(services, (), 100.0, profiles=profiles)
+        assert len(report.intervals) == 1
+        assert report.intervals[0].path == "full"
+        assert report.intervals[0].duration_s == 100.0
+
+    def test_events_at_or_past_horizon_dropped(self, profiles, services):
+        timeline = [
+            RateEpoch(time_s=10.0, service_id="a", rate=3000.0),
+            RateEpoch(time_s=100.0, service_id="a", rate=1.0),  # == horizon
+            RateEpoch(time_s=150.0, service_id="a", rate=2.0),
+        ]
+        controller = FleetController(profiles)
+        gateway = ServeGateway(controller, services, 100.0, VirtualClock())
+        report = asyncio.run(gateway.run(timeline_source(timeline)))
+        assert gateway.health.dropped_beyond_horizon == 2
+        assert [r.time_s for r in report.intervals] == [0.0, 10.0]
+
+    def test_validation(self, profiles, services):
+        controller = FleetController(profiles)
+        with pytest.raises(ValueError, match="deadline budget"):
+            ServeGateway(controller, services, 100.0,
+                         deadline_budget_s=0.0)
+        with pytest.raises(ValueError, match="max_deferrals"):
+            ServeGateway(controller, services, 100.0, max_deferrals=0)
+        with pytest.raises(ValueError, match="snapshot_every"):
+            ServeGateway(controller, services, 100.0, snapshot_every=-1)
+
+
+class TestDeadlineScheduler:
+    def test_lagged_full_replan_defers_then_force_flushes(
+        self, profiles, services
+    ):
+        """Scenario time far past a structural batch: parked, and — with
+        nothing else due — force-applied when the stream closes."""
+        clock = FakeLiveClock(now=100.0)
+        gateway, report = run_live(
+            profiles, services, arrivals(10.0, 2), clock,
+            deadline_budget_s=1.0,
+        )
+        assert gateway.health.deferrals >= 1
+        assert gateway.health.max_deferred_depth == 2
+        assert gateway.health.forced_flushes == 1
+        assert gateway.health.deferred_depth == 0  # nothing left parked
+        # the flush really landed: both arrivals were applied
+        assert gateway.health.events_applied == 2
+        assert report.intervals[-1].num_gpus > 0
+
+    def test_within_budget_applies_on_time(self, profiles, services):
+        clock = FakeLiveClock(now=100.0)
+        gateway, _ = run_live(
+            profiles, services, arrivals(10.0, 2), clock,
+            deadline_budget_s=1000.0,  # lag of 90 s is within budget
+        )
+        assert gateway.health.deferrals == 0
+        assert gateway.health.forced_flushes == 0
+
+    def test_cheap_deltas_never_defer(self, profiles, services):
+        """Rate deltas ride the incremental path; lag is irrelevant."""
+        clock = FakeLiveClock(now=100.0)
+        events = [RateEpoch(time_s=10.0, service_id="a", rate=5000.0),
+                  RateEpoch(time_s=20.0, service_id="b", rate=1000.0)]
+        gateway, _ = run_live(
+            profiles, services, events, clock, deadline_budget_s=1e-6
+        )
+        assert gateway.health.deferrals == 0
+
+    def test_urgent_events_never_deferred(self, profiles, services):
+        """Lost hardware cannot wait, whatever the lag."""
+        clock = FakeLiveClock(now=100.0)
+        events = merge_timeline(
+            arrivals(10.0, 2),
+            [GpuFailure(time_s=10.0, event_id="f0", draw=0.1)],
+        )
+        gateway, _ = run_live(
+            profiles, services, events, clock, deadline_budget_s=1e-6
+        )
+        assert gateway.health.deferrals == 0
+        assert gateway.health.events_applied == 3
+
+    def test_max_deferrals_caps_starvation(self, profiles, services):
+        """A second structural batch lands because the streak cap forces
+        the (coalesced) re-plan through the blown budget."""
+        clock = FakeLiveClock(now=100.0)
+        events = arrivals(10.0, 2) + arrivals(20.0, 2, start=2)
+        gateway, _ = run_live(
+            profiles, services, events, clock,
+            deadline_budget_s=1.0, max_deferrals=1,
+        )
+        assert gateway.health.deferrals == 1
+        assert gateway.health.forced_flushes == 0  # applied by the cap
+        assert gateway.health.events_applied == 4
+        assert gateway.health.max_deferred_depth == 2
+
+    def test_deferred_batches_coalesce(self, profiles, services):
+        """Three structural instants, generous cap: everything coalesces
+        into the shutdown flush as one batch."""
+        clock = FakeLiveClock(now=100.0)
+        events = (arrivals(10.0, 2) + arrivals(20.0, 2, start=2)
+                  + arrivals(30.0, 2, start=4))
+        gateway, _ = run_live(
+            profiles, services, events, clock,
+            deadline_budget_s=1.0, max_deferrals=8,
+        )
+        assert gateway.health.deferrals == 3
+        assert gateway.health.max_deferred_depth == 6
+        assert gateway.health.forced_flushes == 1
+        assert gateway.health.events_applied == 6
+
+    def test_late_event_clamped_forward(self, profiles, services):
+        """An event stamped before the last applied instant steps at the
+        clamped instant instead of raising OutOfOrderEventError."""
+        controller = FleetController(profiles)
+        gateway = ServeGateway(
+            controller, services, 200.0, FakeLiveClock(now=100.0)
+        )
+        gateway.report = controller.begin(services, 200.0)
+        gateway._apply(0.0, [], [])
+        on_time = RateEpoch(time_s=50.0, service_id="a", rate=3000.0)
+        gateway._apply(50.0, [IntakeItem(on_time)], [on_time])
+        late = RateEpoch(time_s=5.0, service_id="b", rate=2000.0)
+        gateway._apply(5.0, [IntakeItem(late)], [late])
+        report = controller.finish()
+        assert gateway.health.late_steps == 1
+        assert [r.time_s for r in report.intervals] == [0.0, 50.0, 50.0]
+
+    def test_live_run_records_reaction_latency(self, profiles, services):
+        clock = FakeLiveClock()
+        events = [RateEpoch(time_s=10.0, service_id="a", rate=5000.0)]
+        gateway, _ = run_live(profiles, services, events, clock)
+        assert gateway.health.reactions_s
+        assert all(r > 0 for r in gateway.health.reactions_s)
+        pct = gateway.health.reaction_percentiles()
+        assert set(pct) == {"p50_ms", "p95_ms", "p99_ms"}
+        assert pct["p50_ms"] <= pct["p99_ms"]
+
+    def test_virtual_replay_records_no_reactions(self, profiles, services):
+        controller = FleetController(profiles)
+        gateway = ServeGateway(controller, services, 100.0, VirtualClock())
+        asyncio.run(gateway.run(timeline_source(
+            [RateEpoch(time_s=10.0, service_id="a", rate=5000.0)]
+        )))
+        assert gateway.health.reactions_s == []
+        assert "reaction_p50_ms" not in gateway.health.to_doc()
+
+
+class TestSnapshot:
+    def test_snapshot_shape_after_replay(self, profiles, services):
+        controller = FleetController(profiles)
+        gateway = ServeGateway(controller, services, 100.0, VirtualClock(),
+                               measure_s=0.1)
+        asyncio.run(gateway.run(timeline_source(busy_timeline())))
+        snap = gateway.snapshot()
+        assert snap["virtual_clock"] is True
+        assert snap["intake_depth"] == 0
+        assert snap["health"]["steps"] == gateway.health.steps
+        assert snap["report"]["intervals"]  # materialized OpsReport doc
+
+    def test_snapshot_on_demand_before_any_step(self, profiles, services):
+        gateway = ServeGateway(
+            FleetController(profiles), services, 100.0, VirtualClock()
+        )
+        snap = gateway.snapshot()
+        assert snap["report"] is None
+        assert snap["health"]["steps"] == 0

@@ -1,0 +1,124 @@
+"""The intake queue: merge_timeline ordering over a live stream."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.ops.events import (
+    GpuFailure,
+    RateEpoch,
+    ServiceDeparture,
+    merge_timeline,
+)
+from repro.serve import IntakeQueue
+
+
+def events_for_ordering():
+    """Same-instant ties across types and ids, plus distinct instants."""
+    return [
+        RateEpoch(time_s=20.0, service_id="b", rate=1.0),
+        RateEpoch(time_s=10.0, service_id="z", rate=1.0),
+        ServiceDeparture(time_s=10.0, service_id="a"),
+        GpuFailure(time_s=10.0, event_id="f0", draw=0.1),
+        RateEpoch(time_s=10.0, service_id="a", rate=2.0),
+    ]
+
+
+class TestOrdering:
+    def test_pop_due_matches_merge_timeline(self):
+        """Popping a live stream yields exactly the offline batch order —
+        the property the virtual-clock replay identity rests on."""
+        events = events_for_ordering()
+        rng = random.Random(7)
+        for _ in range(10):
+            rng.shuffle(events)
+            q = IntakeQueue()
+            for e in events:
+                q.push(e)
+            popped = [item.event for item in q.pop_due(10.0)]
+            assert popped == list(merge_timeline(
+                e for e in events if e.time_s <= 10.0
+            ))
+
+    def test_pop_due_boundary_is_inclusive(self):
+        q = IntakeQueue()
+        q.push(RateEpoch(time_s=5.0, service_id="a", rate=1.0))
+        q.push(RateEpoch(time_s=5.1, service_id="a", rate=2.0))
+        due = q.pop_due(5.0)
+        assert [i.event.time_s for i in due] == [5.0]
+        assert q.next_time() == 5.1
+
+    def test_next_time_and_len(self):
+        q = IntakeQueue()
+        assert q.next_time() is None
+        assert len(q) == 0
+        q.push(RateEpoch(time_s=9.0, service_id="a", rate=1.0))
+        q.push(RateEpoch(time_s=3.0, service_id="a", rate=1.0))
+        assert q.next_time() == 3.0
+        assert len(q) == 2
+        assert q.accepted == 2
+
+    def test_enqueued_at_travels_with_the_event(self):
+        q = IntakeQueue()
+        q.push(RateEpoch(time_s=1.0, service_id="a", rate=1.0),
+               enqueued_at=12.5)
+        item = q.pop_due(1.0)[0]
+        assert item.enqueued_at == 12.5
+
+
+class TestCloseAndWait:
+    def test_push_after_close_rejected(self):
+        q = IntakeQueue()
+        q.close()
+        assert q.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            q.push(RateEpoch(time_s=1.0, service_id="a", rate=1.0))
+
+    def test_wait_arrival_wakes_on_push(self):
+        async def scenario():
+            q = IntakeQueue()
+
+            async def pusher():
+                await asyncio.sleep(0)
+                q.push(RateEpoch(time_s=1.0, service_id="a", rate=1.0))
+
+            task = asyncio.ensure_future(pusher())
+            await asyncio.wait_for(q.wait_arrival(), timeout=1.0)
+            await task
+            return q.next_time()
+
+        assert asyncio.run(scenario()) == 1.0
+
+    def test_wait_arrival_wakes_on_close(self):
+        async def scenario():
+            q = IntakeQueue()
+
+            async def closer():
+                await asyncio.sleep(0)
+                q.close()
+
+            task = asyncio.ensure_future(closer())
+            await asyncio.wait_for(q.wait_arrival(), timeout=1.0)
+            await task
+            return q.closed
+
+        assert asyncio.run(scenario())
+
+    def test_push_before_wait_is_not_missed(self):
+        """An arrival between waits stays latched until consumed."""
+        async def scenario():
+            q = IntakeQueue()
+            q.push(RateEpoch(time_s=1.0, service_id="a", rate=1.0))
+            await asyncio.wait_for(q.wait_arrival(), timeout=1.0)
+
+        asyncio.run(scenario())
+
+    def test_wait_after_close_never_blocks(self):
+        async def scenario():
+            q = IntakeQueue()
+            q.close()
+            await asyncio.wait_for(q.wait_arrival(), timeout=1.0)
+            await asyncio.wait_for(q.wait_arrival(), timeout=1.0)
+
+        asyncio.run(scenario())

@@ -1,0 +1,123 @@
+"""The wire codec and event sources: exact round-trips, stable lines."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.ops.events import (
+    GpuFailure,
+    GpuRecovery,
+    RateEpoch,
+    ServiceArrival,
+    ServiceDeparture,
+    SloChange,
+    SpotPreemptionWave,
+)
+from repro.serve import (
+    EVENT_TYPES,
+    decode_event,
+    encode_event,
+    event_from_doc,
+    event_to_doc,
+    jsonl_source,
+    stream_source,
+    timeline_source,
+)
+
+#: one representative of every wire-format event type
+SAMPLES = [
+    ServiceDeparture(time_s=10.0, service_id="svc1"),
+    ServiceArrival(time_s=20.0, service_id="svc2", model="resnet-50",
+                   request_rate=1200.0, slo_latency_ms=250.0),
+    SloChange(time_s=30.0, service_id="svc1", slo_latency_ms=180.0),
+    RateEpoch(time_s=40.0, service_id="svc2", rate=4500.0),
+    GpuRecovery(time_s=50.0, ref="f0"),
+    GpuRecovery(time_s=51.0, gpu_id=3),
+    GpuFailure(time_s=60.0, event_id="f1", draw=0.25),
+    SpotPreemptionWave(time_s=70.0, event_id="w0", fraction=0.1,
+                       draw=0.5, restore_delay_s=600.0),
+]
+
+
+def collect(source):
+    async def drain():
+        return [e async for e in source]
+
+    return asyncio.run(drain())
+
+
+class TestCodec:
+    def test_vocabulary_is_complete(self):
+        assert set(EVENT_TYPES) == {
+            "ServiceDeparture", "ServiceArrival", "SloChange", "RateEpoch",
+            "GpuRecovery", "GpuFailure", "SpotPreemptionWave",
+        }
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_doc_round_trip(self, event):
+        assert event_from_doc(event_to_doc(event)) == event
+
+    @pytest.mark.parametrize("event", SAMPLES, ids=lambda e: e.kind)
+    def test_line_round_trip(self, event):
+        assert decode_event(encode_event(event)) == event
+
+    def test_lines_are_canonical(self):
+        """Sorted keys: a recorded session is diffable and byte-stable."""
+        line = encode_event(SAMPLES[0])
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+        assert encode_event(SAMPLES[0]) == line  # deterministic
+
+    def test_kind_discriminator_matches_class_name(self):
+        doc = event_to_doc(RateEpoch(time_s=1.0, service_id="a", rate=2.0))
+        assert doc["kind"] == "RateEpoch"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_doc({"kind": "Nope", "time_s": 1.0})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_doc({"time_s": 1.0})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            event_from_doc(
+                {"kind": "RateEpoch", "time_s": 1.0, "service_id": "a",
+                 "rate": 2.0, "bogus": True}
+            )
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            decode_event("[1, 2, 3]")
+
+    def test_invalid_field_values_still_validate(self):
+        """The dataclass __post_init__ contracts hold on decode too."""
+        with pytest.raises(ValueError):
+            decode_event(json.dumps(
+                {"kind": "GpuFailure", "time_s": 1.0, "event_id": "f",
+                 "draw": 2.0}  # draw must be in [0, 1)
+            ))
+
+
+class TestSources:
+    def test_timeline_source_preserves_order(self):
+        assert collect(timeline_source(SAMPLES)) == SAMPLES
+
+    def test_jsonl_source_decodes_and_skips_blanks(self):
+        lines = [encode_event(e) for e in SAMPLES]
+        lines.insert(2, "")
+        lines.insert(5, "   ")
+        assert collect(jsonl_source(lines)) == SAMPLES
+
+    def test_stream_source_reads_until_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            for e in SAMPLES:
+                reader.feed_data((encode_event(e) + "\n").encode())
+            reader.feed_data(b"\n")  # blank line is skipped
+            reader.feed_eof()
+            return [e async for e in stream_source(reader)]
+
+        assert asyncio.run(scenario()) == SAMPLES

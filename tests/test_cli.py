@@ -150,3 +150,88 @@ class TestCommands:
         assert exp_main(["fig1"]) == 0
         assert "19 configurations" in capsys.readouterr().out
         assert exp_main(["nope"]) == 2
+
+
+class TestServeGateway:
+    def test_serve_virtual_replay_with_identity_check(self, capsys):
+        assert (
+            main(["serve", "--scenario", "s12", "--clock", "virtual",
+                  "--horizon", "3000", "--measure", "0.1",
+                  "--check-offline"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "virtual replay" in out
+        assert "session:" in out
+        assert "matches the offline FleetController" in out
+
+    def test_serve_live_session_records_and_verifies(self, capsys, tmp_path):
+        rec = tmp_path / "session.jsonl"
+        assert (
+            main(["serve", "--scenario", "s12", "--horizon", "600",
+                  "--time-scale", "3000", "--measure", "0.05",
+                  "--no-status", "--record", str(rec),
+                  "--check-offline"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "live x3000" in out
+        assert "recorded session:" in out
+        assert "matches the offline FleetController" in out
+        from repro.serve import decode_event
+
+        events = [decode_event(line)
+                  for line in rec.read_text().splitlines()]
+        assert all(e.time_s < 600.0 for e in events)
+
+    def test_serve_live_serves_status_endpoint(self, capsys):
+        assert (
+            main(["serve", "--scenario", "s12", "--horizon", "300",
+                  "--time-scale", "3000", "--measure", "0.05"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "status: http://127.0.0.1:" in out
+
+    def test_serve_unknown_scenario(self, capsys):
+        assert main(["serve", "--scenario", "s99"]) == 2
+        assert "unknown ops scenario" in capsys.readouterr().err
+
+    def test_serve_bad_time_scale(self, capsys):
+        assert (
+            main(["serve", "--scenario", "s12", "--time-scale", "0"]) == 2
+        )
+        assert "time scale" in capsys.readouterr().err
+
+    def test_serve_default_scenario_is_s16(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.scenario == "S16"
+        assert args.clock == "real"
+        assert args.deadline == 0.25
+
+    def test_ops_live_runs_gateway_session(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--live",
+                  "--horizon", "300", "--time-scale", "3000",
+                  "--measure", "0.05"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "live x3000" in out
+        assert "session:" in out
+
+    def test_ops_live_rejects_verify(self, capsys):
+        assert main(["ops", "--scenario", "s12", "--live", "--verify"]) == 2
+        assert "--live" in capsys.readouterr().err
+
+    def test_ops_verify_every_samples_reference(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--horizon", "3000",
+                  "--measure", "0.1", "--verify",
+                  "--verify-every", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "fast-vs-naive replay" in out
+
+    def test_ops_verify_every_requires_verify(self, capsys):
+        assert (
+            main(["ops", "--scenario", "s12", "--verify-every", "3"]) == 2
+        )
+        assert "--verify-every" in capsys.readouterr().err
