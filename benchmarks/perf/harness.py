@@ -43,6 +43,19 @@ Two suites, selected with ``--suite``:
   latency (p50/p95/p99) and verifying the recorded session's virtual
   replay.  Results land in ``BENCH_serve.json``.
 
+- ``resilience``: the crash-resilience tier.  For each ops tier the
+  run is (a) checkpointed every ``RESILIENCE_CKPT_EVERY`` intervals
+  and compared against the uncheckpointed wall-clock (write overhead),
+  (b) killed at an interval boundary and resumed from the checkpoint —
+  the resumed report must be **bit-identical** to the uninterrupted
+  one — and (c) replayed on the sharded control plane while a seeded
+  ``FaultPlan`` kills worker processes mid-measurement, asserting the
+  recovered parallel replay still matches the serial reference
+  interval-for-interval.  Two scenario specials ride along: the full
+  S13 degraded week killed/resumed *twice* (chained resume), and an
+  S15 chaos-week prefix with worker crashes at 10k services.  Results
+  land in ``BENCH_resilience.json``.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf/harness.py
@@ -97,6 +110,9 @@ DEFAULT_OUTS = {
     "simulate": pathlib.Path(__file__).parent / "BENCH_simulate.local.json",
     "ops": pathlib.Path(__file__).parent / "BENCH_ops.local.json",
     "serve": pathlib.Path(__file__).parent / "BENCH_serve.local.json",
+    "resilience": (
+        pathlib.Path(__file__).parent / "BENCH_resilience.local.json"
+    ),
 }
 GEOMETRIES = ("mig", "mi300x", "mixed")
 
@@ -130,6 +146,24 @@ SERVE_MEASURE_S = 0.25
 SERVE_WORKERS = (1, 2)
 SERVE_TIME_SCALE = 600.0
 SERVE_DEADLINE_S = 0.25
+
+#: The resilience suite: ops tiers run with checkpoint/kill/resume and
+#: with seeded worker-crash injection on the sharded control plane.
+#: Checkpoints land every RESILIENCE_CKPT_EVERY intervals (the overhead
+#: the committed BENCH holds under 5% at the 1000-service tier); the
+#: S15 special replays a chaos-week *prefix* (the full week is a
+#: 17-minute serial run) at a lighter measurement than the ops suite's
+#: 10k tier — crash recovery, not throughput, is what it checks.
+RESILIENCE_TIERS = (100, 1000)
+RESILIENCE_CKPT_EVERY = 5
+#: Base and checkpointed walls are best-of-N: replays are deterministic,
+#: so wall-clock spread between repeats is pure scheduler/container
+#: noise, and at sub-10 s scales that noise dwarfs the real checkpoint
+#: overhead being measured.
+RESILIENCE_REPEATS = 3
+RESILIENCE_CRASHES = 3
+RESILIENCE_S15_HORIZON = 86_400.0
+RESILIENCE_S15_MEASURE = 1.0
 
 
 def _make_scheduler(geometry: str, fast_path: bool):
@@ -664,6 +698,271 @@ def run_serve_live(time_scale=SERVE_TIME_SCALE):
     return doc
 
 
+def _resilience_replay(run, *, measure, workers=0, fault_injector=None,
+                       horizon=None, **run_kwargs):
+    """One timed FleetController replay for the resilience suite."""
+    from repro.ops import FleetController
+    from repro.scenarios.ops import OPS_SEED
+
+    ctrl = FleetController(
+        fast_path=True, seed=OPS_SEED, workers=workers,
+        fault_injector=fault_injector,
+    )
+    t0 = time.perf_counter()
+    report = ctrl.run(
+        run.services,
+        run.timeline,
+        run.horizon_s if horizon is None else horizon,
+        measure_s=measure,
+        warmup_s=OPS_WARMUP_S,
+        sim_seed=OPS_SEED,
+        **run_kwargs,
+    )
+    return ctrl, report, time.perf_counter() - t0
+
+
+def _crash_plan(workers, crashes=RESILIENCE_CRASHES):
+    """A seeded worker-crash plan whose sites can actually fire.
+
+    ``max_index`` is pinned to the shard count so every sampled site
+    names a job position a ``workers``-wide batch really dispatches.
+    """
+    from repro.resilience import FaultPlan
+    from repro.scenarios.ops import OPS_SEED
+
+    return FaultPlan(
+        seed=OPS_SEED, worker_crashes=crashes,
+        max_batch=6, max_index=max(1, workers),
+    ).injector()
+
+
+def _kill_resume(run, base, *, measure, kill_at, ckpt_path, resume_from=None,
+                 horizon=None):
+    """Kill a (possibly already-resumed) run at an interval boundary,
+    resume it from the flushed checkpoint, and demand bit-identity.
+
+    Returns ``(resumed_report, kill_wall_s, resume_wall_s)``; the caller
+    chains by passing ``resume_from=ckpt_path`` with a later
+    ``kill_at`` (or ``None`` to run to completion).
+    """
+    _, _, kill_wall = _resilience_replay(
+        run, measure=measure, horizon=horizon,
+        checkpoint_every=1, checkpoint_path=ckpt_path,
+        resume=resume_from, max_steps=kill_at,
+    )
+    _, resumed, resume_wall = _resilience_replay(
+        run, measure=measure, horizon=horizon, resume=ckpt_path,
+    )
+    if resumed.to_doc() != base.to_doc():
+        raise SystemExit(
+            f"FATAL: resume after kill@{kill_at} diverged from the "
+            f"uninterrupted {run.name} replay"
+        )
+    return resumed, kill_wall, resume_wall
+
+
+def run_resilience_sweep(tiers, workers=OPS_WORKERS):
+    """Per-tier checkpoint overhead, kill/resume identity, and seeded
+    worker-crash recovery on the sharded control plane."""
+    import os
+    import tempfile
+
+    from repro.ops import OpsIdentityError
+    from repro.ops.controller import assert_reports_identical
+    from repro.scenarios.ops import bench_ops_run
+
+    rows = []
+    for tier in tiers:
+        run = bench_ops_run(tier)
+        measure = OPS_MEASURE_S
+        _, base, base_wall = _resilience_replay(run, measure=measure)
+        for _ in range(RESILIENCE_REPEATS - 1):
+            _, _, wall = _resilience_replay(run, measure=measure)
+            base_wall = min(base_wall, wall)
+        with tempfile.TemporaryDirectory() as td:
+            ck = os.path.join(td, "checkpoint.json")
+            # (a) checkpoint write overhead on the full run
+            _, ckpted, ckpt_wall = _resilience_replay(
+                run, measure=measure,
+                checkpoint_every=RESILIENCE_CKPT_EVERY, checkpoint_path=ck,
+            )
+            assert_reports_identical(ckpted, base)
+            for _ in range(RESILIENCE_REPEATS - 1):
+                _, _, wall = _resilience_replay(
+                    run, measure=measure,
+                    checkpoint_every=RESILIENCE_CKPT_EVERY,
+                    checkpoint_path=ck,
+                )
+                ckpt_wall = min(ckpt_wall, wall)
+            ckpt_bytes = os.path.getsize(ck)
+            # (b) kill at the middle interval boundary, resume, compare
+            kill_at = max(1, len(base.intervals) // 2)
+            _, kill_wall, resume_wall = _kill_resume(
+                run, base, measure=measure, kill_at=kill_at, ckpt_path=ck,
+            )
+        # (c) worker crashes mid-measurement on the sharded replay
+        wctrl, crashed, crash_wall = _resilience_replay(
+            run, measure=measure, workers=workers,
+            fault_injector=_crash_plan(workers),
+        )
+        try:
+            assert_reports_identical(crashed, base)
+        except OpsIdentityError as exc:
+            raise SystemExit(
+                f"FATAL: crash-recovered sharded replay diverged at "
+                f"{tier} services: {exc}"
+            )
+        health = wctrl.shard_health()
+        if health is None or health.worker_crashes == 0:
+            raise SystemExit(
+                f"FATAL: the fault plan injected no worker crash at "
+                f"{tier} services — the recovery path went unexercised"
+            )
+        _, parallel_clean, clean_wall = _resilience_replay(
+            run, measure=measure, workers=workers,
+        )
+        assert_reports_identical(parallel_clean, base)
+        overhead = (ckpt_wall - base_wall) / base_wall
+        row = {
+            "scenario": "RESILIENCE",
+            "tier": tier,
+            "geometry": "mig",
+            "run": run.name,
+            "measure_s": measure,
+            "intervals": len(base.intervals),
+            "checkpoint_every": RESILIENCE_CKPT_EVERY,
+            "checkpoint_bytes": ckpt_bytes,
+            "timing_repeats": RESILIENCE_REPEATS,
+            "base_wall_s": round(base_wall, 6),
+            "checkpointed_wall_s": round(ckpt_wall, 6),
+            "checkpoint_overhead_pct": round(100 * overhead, 2),
+            "kill_at_step": kill_at,
+            "killed_wall_s": round(kill_wall, 6),
+            "resume_wall_s": round(resume_wall, 6),
+            "resume_identical": True,
+            "crash_workers": workers,
+            "crashed_wall_s": round(crash_wall, 6),
+            "parallel_clean_wall_s": round(clean_wall, 6),
+            "degraded_slowdown": round(crash_wall / clean_wall, 2),
+            "parallel_identical": True,
+            "shard_health": health.to_doc(),
+        }
+        rows.append(row)
+        print(
+            f"  RES n={tier:<5} base {base_wall:7.2f} s  ckpt overhead "
+            f"{row['checkpoint_overhead_pct']:+5.2f}%  kill@{kill_at} "
+            f"resume {resume_wall:6.2f} s identical;  "
+            f"{health.worker_crashes} worker crashes "
+            f"({health.pool_rebuilds} rebuilds, "
+            f"{health.degradations} degradations) recovered identical "
+            f"x{row['degraded_slowdown']:.2f}"
+        )
+    return rows
+
+
+def run_resilience_s13():
+    """The S13 degraded week, killed and resumed *twice* (chained)."""
+    import os
+    import tempfile
+
+    from repro.scenarios.ops import ops_run
+
+    run = ops_run("S13")
+    measure = OPS_MEASURE_S
+    _, base, base_wall = _resilience_replay(run, measure=measure)
+    n = len(base.intervals)
+    first, second = max(1, n // 3), max(2, (2 * n) // 3)
+    with tempfile.TemporaryDirectory() as td:
+        ck = os.path.join(td, "checkpoint.json")
+        walls = []
+        _, k1, r1 = _kill_resume(
+            run, base, measure=measure, kill_at=first, ckpt_path=ck,
+        )
+        walls.append((first, k1, r1))
+        # chain: resume from the first checkpoint, die again, resume again
+        _, _, kill2_wall = _resilience_replay(
+            run, measure=measure, checkpoint_every=1, checkpoint_path=ck,
+            resume=ck, max_steps=second,
+        )
+        _, resumed2, r2 = _resilience_replay(
+            run, measure=measure, resume=ck,
+        )
+        if resumed2.to_doc() != base.to_doc():
+            raise SystemExit(
+                "FATAL: S13 chained kill/resume diverged from the "
+                "uninterrupted replay"
+            )
+        walls.append((second, kill2_wall, r2))
+    print(
+        f"  RES S13   base {base_wall:7.2f} s  kills at steps "
+        f"{first} and {second} of {n}, chained resume identical"
+    )
+    return {
+        "run": run.name,
+        "measure_s": measure,
+        "intervals": n,
+        "base_wall_s": round(base_wall, 6),
+        "kills": [
+            {
+                "kill_at_step": at,
+                "killed_wall_s": round(kw, 6),
+                "resume_wall_s": round(rw, 6),
+            }
+            for at, kw, rw in walls
+        ],
+        "chained_resume_identical": True,
+    }
+
+
+def run_resilience_s15(horizon_s=RESILIENCE_S15_HORIZON, workers=OPS_WORKERS):
+    """Worker crashes mid-chaos-week at 10k services (truncated prefix)."""
+    from repro.ops import OpsIdentityError
+    from repro.ops.controller import assert_reports_identical
+    from repro.scenarios.ops import ops_run
+
+    run = ops_run("S15")
+    horizon = min(horizon_s, run.horizon_s)
+    measure = RESILIENCE_S15_MEASURE
+    _, base, base_wall = _resilience_replay(
+        run, measure=measure, horizon=horizon,
+    )
+    wctrl, crashed, crash_wall = _resilience_replay(
+        run, measure=measure, horizon=horizon, workers=workers,
+        fault_injector=_crash_plan(workers),
+    )
+    try:
+        assert_reports_identical(crashed, base)
+    except OpsIdentityError as exc:
+        raise SystemExit(
+            f"FATAL: S15 crash-recovered sharded replay diverged: {exc}"
+        )
+    health = wctrl.shard_health()
+    if health is None or health.worker_crashes == 0:
+        raise SystemExit(
+            "FATAL: the S15 fault plan injected no worker crash — the "
+            "recovery path went unexercised"
+        )
+    print(
+        f"  RES S15   prefix {horizon / 3600:g} h of "
+        f"{run.horizon_s / 3600:g} h, {len(base.intervals)} intervals: "
+        f"{health.worker_crashes} worker crashes recovered, "
+        f"parallel identical (serial {base_wall:.2f} s, crashed "
+        f"x{workers} {crash_wall:.2f} s)"
+    )
+    return {
+        "run": run.name,
+        "horizon_s": horizon,
+        "measure_s": measure,
+        "intervals": len(base.intervals),
+        "services": len(run.services),
+        "crash_workers": workers,
+        "serial_wall_s": round(base_wall, 6),
+        "crashed_wall_s": round(crash_wall, 6),
+        "parallel_identical": True,
+        "shard_health": health.to_doc(),
+    }
+
+
 def check_baseline(rows, baseline_path, max_regress, section, field):
     """Compare fast-path wall-clocks to the committed baseline (>Nx fails).
 
@@ -696,7 +995,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("schedule", "simulate", "ops", "serve"),
+        choices=("schedule", "simulate", "ops", "serve", "resilience"),
         default="schedule",
         help="schedule: time the scheduler's fleet sweep (S9/S10); "
         "simulate: serve high-rate fleets through the simulation fast "
@@ -704,7 +1003,9 @@ def main(argv=None):
         "a simulated day of failures/preemptions/churn with the "
         "closed-loop FleetController; serve: virtual-clock gateway "
         "identity replays plus a live S16 session with reaction-latency "
-        "percentiles (default: %(default)s)",
+        "percentiles; resilience: checkpoint/kill/resume bit-identity, "
+        "checkpoint overhead, and seeded worker-crash recovery "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--tiers",
@@ -781,6 +1082,17 @@ def main(argv=None):
         help="serve suite: scenario seconds per wall second for the live "
         "S16 session (default: %(default)s)",
     )
+    parser.add_argument(
+        "--skip-s13", action="store_true",
+        help="resilience suite: skip the S13 chained kill/resume special "
+        "(the CI smoke runs the tier rows only)",
+    )
+    parser.add_argument(
+        "--s15-horizon", type=float, default=RESILIENCE_S15_HORIZON,
+        help="resilience suite: chaos-week prefix replayed for the 10k "
+        "worker-crash special, in scenario seconds (0 skips it; "
+        "default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     default_tiers = {
@@ -788,13 +1100,14 @@ def main(argv=None):
         "simulate": SIM_TIERS,
         "ops": OPS_TIERS,
         "serve": (),
+        "resilience": RESILIENCE_TIERS,
     }[args.suite]
     tiers = (
         [int(t) for t in args.tiers.split(",") if t]
         if args.tiers
         else list(default_tiers)
     )
-    if args.suite in ("ops", "serve") and args.geometries is not None:
+    if args.suite in ("ops", "serve", "resilience") and args.geometries is not None:
         # The FleetController runs one geometry per fleet and the ops
         # tiers are MIG-only; silently ignoring the flag would let a
         # user believe they benchmarked MI300X ops behavior.
@@ -865,6 +1178,23 @@ def main(argv=None):
             else run_serve_live(time_scale=args.serve_time_scale)
         )
         section, field = "serve", "gateway_wall_s"
+    elif args.suite == "resilience":
+        print(
+            f"resilience sweep: tiers={tiers} workers={args.workers} "
+            f"ckpt_every={RESILIENCE_CKPT_EVERY} (checkpoint overhead + "
+            f"kill/resume bit-identity + seeded worker-crash recovery)"
+        )
+        rows = run_resilience_sweep(tiers, workers=args.workers)
+        doc["resilience"] = rows
+        doc["s13_kill_resume"] = None if args.skip_s13 else run_resilience_s13()
+        doc["s15_worker_crash"] = (
+            None
+            if args.s15_horizon <= 0
+            else run_resilience_s15(
+                horizon_s=args.s15_horizon, workers=args.workers
+            )
+        )
+        section, field = "resilience", "base_wall_s"
     else:
         print(
             f"simulate sweep: tiers={tiers} geometries={geometries} "

@@ -41,6 +41,8 @@ DEFAULT_IDENTITY_MODULES: tuple[str, ...] = (
     "src/repro/profiler/*",
     "src/repro/models/*",
     "src/repro/parallel.py",
+    "src/repro/serve/*",
+    "src/repro/resilience/*",
 )
 
 #: Default location of the grandfathered-findings baseline.

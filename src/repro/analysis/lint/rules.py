@@ -30,6 +30,12 @@ D006  Fast-path parity: a function accepting a ``fast_path`` /
       ``indexed`` / ``workers`` switch must actually branch on it —
       otherwise the naive/serial reference path the identity checks
       replay against does not exist.
+D007  Swallowed exceptions: a bare ``except:`` or overbroad
+      ``except Exception/BaseException`` in an identity-checked module
+      whose handler neither re-raises nor increments a counter.  A
+      silently absorbed error is how a control plane diverges from its
+      replay without any fingerprint noticing; degraded paths must
+      either propagate or be *counted* into a health surface.
 ====  ==============================================================
 
 The checks are deliberately syntactic (no type inference): they flag
@@ -55,6 +61,7 @@ RULES: dict[str, str] = {
     "D004": "order-sensitive float accumulation over an unordered iterable",
     "D005": "lambda/local function passed to a process-pool submission",
     "D006": "fast-path switch accepted but never used (no reference path)",
+    "D007": "broad exception handler that neither re-raises nor counts",
     "E001": "file could not be parsed",
 }
 
@@ -112,6 +119,11 @@ _SUBMISSION_ATTRS = frozenset(
 #: Parameter names that switch between an optimized path and its naive
 #: reference (D006).
 _FASTPATH_PARAMS = frozenset({"fast_path", "indexed", "workers"})
+
+#: Exception classes considered overbroad in a handler (D007): catching
+#: these absorbs *any* failure, including the ones the identity
+#: contract needs to surface.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
 
 
 @dataclass
@@ -438,6 +450,46 @@ class DeterminismVisitor(ast.NodeVisitor):
 
     # SetComp sources are order-insensitive (the result is a set), so no
     # comprehension check there; consumption of the set itself is flagged.
+
+    # ------------------------------------------------------------------ #
+    # D007 (swallowed exceptions)
+    # ------------------------------------------------------------------ #
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.identity_module and self._is_broad_handler(node.type):
+            acknowledged = any(
+                isinstance(inner, (ast.Raise, ast.AugAssign))
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            )
+            if not acknowledged:
+                label = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                self._add(
+                    node, "D007",
+                    f"{label} swallows errors silently: re-raise, narrow "
+                    "the type, or count the failure into a health counter",
+                )
+        self.generic_visit(node)
+
+    def _is_broad_handler(self, type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True  # bare except
+        candidates = (
+            list(type_node.elts)
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for candidate in candidates:
+            name = self._resolve(candidate)
+            if name is None and isinstance(candidate, ast.Name):
+                name = candidate.id
+            if name in _BROAD_EXCEPTIONS:
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # D006 and scope tracking

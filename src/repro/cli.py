@@ -276,6 +276,9 @@ def _run_gateway_session(
     use_stdin: bool,
     record: str | None,
     check_offline: bool,
+    journal_dir: str | None = None,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 0,
 ) -> int:
     """One serve-gateway session (shared by ``serve`` and ``ops --live``)."""
     import asyncio
@@ -283,6 +286,7 @@ def _run_gateway_session(
     from repro.ops import FleetController, OpsIdentityError
     from repro.scenarios.ops import OPS_SEED, ops_run
     from repro.serve import (
+        Journal,
         MonotonicClock,
         ScriptedDriver,
         ServeGateway,
@@ -312,6 +316,9 @@ def _run_gateway_session(
             sim_seed=seed,
             deadline_budget_s=deadline,
             snapshot_every=0 if virtual else 1,
+            journal=None if journal_dir is None else Journal(journal_dir),
+            checkpoint_path=checkpoint,
+            checkpoint_every=checkpoint_every,
         )
     except (KeyError, ValueError) as exc:
         print(f"error: {_unquote(exc)}", file=sys.stderr)
@@ -368,6 +375,26 @@ def _run_gateway_session(
         f"session: {health.steps} steps, {health.events_applied} events "
         f"applied{degraded}"
     )
+    if gateway.journal is not None:
+        js = gateway.journal.stats
+        print(
+            f"journal: {js.appends} events in {js.segments} segment(s), "
+            f"{js.fsyncs} fsyncs ({journal_dir})"
+        )
+    if checkpoint:
+        print(
+            f"checkpoints: {health.checkpoint_writes} written"
+            + (f", {health.checkpoint_errors} failed"
+               if health.checkpoint_errors else "")
+            + f" ({checkpoint})"
+        )
+    if health.safe_mode:
+        print(
+            "SAFE MODE: the intake source failed for good "
+            f"({gateway.health_doc().get('source_error')}); the session "
+            "drained admitted events and flushed a final checkpoint",
+            file=sys.stderr,
+        )
     if health.reactions_s:
         pct = health.reaction_percentiles()
         print(
@@ -418,11 +445,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_stdin=args.stdin,
         record=args.record,
         check_offline=args.check_offline,
+        journal_dir=args.journal,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
 
 
 def _cmd_ops(args: argparse.Namespace) -> int:
     from repro.ops import (
+        CheckpointError,
         FleetController,
         OpsIdentityError,
         run_identity_checked,
@@ -433,6 +464,11 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         if args.verify or args.engine != "fast":
             print("error: --live is a serve-gateway session; it cannot be "
                   "combined with --verify or --engine", file=sys.stderr)
+            return 2
+        if args.resume:
+            print("error: --resume replays an offline checkpoint; it cannot "
+                  "be combined with --live (journal replay covers live "
+                  "sessions)", file=sys.stderr)
             return 2
         return _run_gateway_session(
             args.scenario,
@@ -449,7 +485,19 @@ def _cmd_ops(args: argparse.Namespace) -> int:
             use_stdin=False,
             record=None,
             check_offline=False,
+            journal_dir=args.journal,
+            checkpoint=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
         )
+    if (args.resume or args.checkpoint or args.checkpoint_every) and args.verify:
+        print("error: --verify replays the full timeline on the naive "
+              "reference; it cannot be combined with checkpoint/resume",
+              file=sys.stderr)
+        return 2
+    if args.journal:
+        print("error: --journal is a gateway-session flag (use --live or "
+              "the serve command)", file=sys.stderr)
+        return 2
     if args.verify_every != 1 and not args.verify:
         print("error: --verify-every only applies with --verify",
               file=sys.stderr)
@@ -486,9 +534,20 @@ def _cmd_ops(args: argparse.Namespace) -> int:
                 fast_path=args.engine == "fast", seed=seed,
                 workers=args.workers,
             )
-            report = ctrl.run(run.services, run.timeline, horizon, **kwargs)
+            # a bare --checkpoint means "checkpoint every interval"
+            ckpt_every = args.checkpoint_every or (1 if args.checkpoint else 0)
+            report = ctrl.run(
+                run.services, run.timeline, horizon,
+                checkpoint_every=ckpt_every,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+                **kwargs,
+            )
     except OpsIdentityError as exc:
         print(f"IDENTITY CHECK FAILED: {exc}", file=sys.stderr)
+        return 1
+    except CheckpointError as exc:
+        print(f"CHECKPOINT ERROR: {_unquote(exc)}", file=sys.stderr)
         return 1
     except ValueError as exc:
         # invalid numeric arguments (e.g. --horizon 0) surface as the
@@ -540,11 +599,38 @@ def _cmd_ops(args: argparse.Namespace) -> int:
             f"(worst: {worst_sid} in "
             f"{100 * attainment[worst_sid]:.0f}% of its intervals)"
         )
+    if args.resume:
+        print(f"resumed: {args.resume} (intervals before the checkpoint "
+              "cursor restored verbatim)")
+    if args.checkpoint:
+        print(f"checkpoint: {args.checkpoint} "
+              f"(every {args.checkpoint_every or 1} interval(s))")
     checks = "state round-trip + cluster mirror"
     if args.verify:
         checks += " + fast-vs-naive replay"
     print(f"identity: {checks} OK on every interval")
     return 0
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="write a versioned, checksummed control-plane checkpoint "
+        "(at every --checkpoint-every steps, plus a final one at "
+        "shutdown for gateway sessions)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=0, dest="checkpoint_every",
+        metavar="N",
+        help="checkpoint cadence in control-loop steps (0 = only where "
+        "the session flushes on its own; requires --checkpoint)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead journal directory: every admitted intake "
+        "event is persisted in wire format before use, so a crashed "
+        "gateway session can be replayed bit-identically",
+    )
 
 
 def _add_geometry_flag(parser: argparse.ArgumentParser) -> None:
@@ -642,6 +728,13 @@ def build_parser() -> argparse.ArgumentParser:
         "triplet scoring) across N parallel workers; results are "
         "bit-identical to the serial path (default: 0 = serial)",
     )
+    _add_resilience_flags(p)
+    p.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="resume an interrupted run from a checkpoint written by "
+        "--checkpoint; the resumed report is bit-identical to an "
+        "uninterrupted run",
+    )
     p.set_defaults(func=_cmd_ops)
 
     p = sub.add_parser(
@@ -711,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the per-interval serving measurement across N "
         "parallel workers (default: 0 = serial)",
     )
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("simulate", help="simulate serving a scenario")

@@ -27,6 +27,12 @@ Scenarios S12-S14 (:mod:`repro.scenarios.ops`) package ready-made runs;
 ``parvagpu ops --scenario s13`` drives one from the CLI.
 """
 
+from repro.ops.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.ops.controller import (
     FleetController,
     OpsIdentityError,
@@ -48,6 +54,10 @@ from repro.ops.events import (
 from repro.ops.report import FailureRecord, IntervalRecord, OpsReport
 
 __all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "read_checkpoint",
+    "write_checkpoint",
     "FleetController",
     "OpsIdentityError",
     "OutOfOrderEventError",

@@ -32,11 +32,13 @@ draws plus the controller seed, and the simulator is seeded — two runs
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import Iterable, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from repro.core.allocator import SegmentAllocator
 from repro.core.deployment import DeploymentManager
@@ -46,6 +48,20 @@ from repro.core.placement import Placement
 from repro.core.service import Service
 from repro.gpu.geometry import get_geometry
 from repro.gpu.reconfig import ReconfigurationCost, ShadowBudget, price_plan
+from repro.ops.checkpoint import (
+    CheckpointError,
+    event_doc,
+    event_from_wire_doc,
+    placement_from_doc,
+    placement_to_doc,
+    report_from_doc,
+    report_to_doc,
+    resolve_resume,
+    service_from_doc,
+    service_to_doc,
+    timeline_digest,
+    write_checkpoint,
+)
 from repro.ops.events import (
     GpuFailure,
     GpuRecovery,
@@ -58,7 +74,20 @@ from repro.ops.events import (
     timeline_key,
 )
 from repro.ops.report import FailureRecord, IntervalRecord, OpsReport
+from repro.parallel import FaultInjector, ShardHealth
 from repro.profiler.table import ProfileTable
+
+
+def _record_digest(canonical: str) -> str:
+    """Collapse a canonical fingerprint string to its sha256 hex digest.
+
+    Interval records store digests, not the multi-hundred-KB canonical
+    renderings: identity checks only ever compare fingerprints for
+    equality (between replays, across resume, fast vs. naive), and a
+    digest comparison is the same check — while keeping fleet-scale
+    reports and their checkpoints a couple of MB instead of hundreds.
+    """
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class OpsIdentityError(RuntimeError):
@@ -113,6 +142,7 @@ class FleetController:
         spare_shadow_gpus: int = 4,
         full_replan_fraction: float = 0.5,
         workers: int = 0,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         geo = get_geometry(geometry)
         if profiles is None:
@@ -147,9 +177,14 @@ class FleetController:
         #: serving measurement (and, for N > 1, replan triplet scoring)
         #: across N shards with bit-identical results (repro.sim.shard)
         self.workers = workers
+        #: infrastructure fault-injection hook handed to the shard pool
+        #: (tests and the resilience benchmark suite; None in production)
+        self.fault_injector = fault_injector
         #: the run-scoped ShardContext (pool + segment memo); live only
         #: inside :meth:`run` when ``workers >= 1``
         self._shard_ctx = None
+        #: the last closed run's pool health (what the run survived)
+        self.last_shard_health: Optional[ShardHealth] = None
         #: failure event_id -> the GPU id the draw resolved to
         self._eid_to_gpu: dict[str, int] = {}
         #: the active begin()/step()/finish() cycle, if any
@@ -239,7 +274,9 @@ class FleetController:
             # and the segment memo carries across intervals — an event
             # only perturbs a handful of services, so most segments
             # resolve from cache and only the changed ones are shipped.
-            self._shard_ctx = ShardContext(self.workers)
+            self._shard_ctx = ShardContext(
+                self.workers, fault_injector=self.fault_injector
+            )
         self._run = _RunState(
             work=work,
             by_id=by_id,
@@ -306,7 +343,7 @@ class FleetController:
         if run.check:
             self._check_state(run.work)
         placement = self.manager.current
-        record.fingerprint = placement.fingerprint()
+        record.fingerprint = _record_digest(placement.fingerprint())
         if run.measure_s > 0 and run.steps % run.measure_every == 0:
             self._measure(
                 record, placement, run.work, run.measure_s, run.warmup_s,
@@ -358,10 +395,186 @@ class FleetController:
         """
         run = self._require_run()
         if self._shard_ctx is not None:
+            self.last_shard_health = self._shard_ctx.pool.health
             self._shard_ctx.close()
             self._shard_ctx = None
         self._run = None
         return run.report
+
+    def shard_health(self) -> Optional[ShardHealth]:
+        """The shard pool's survival counters — live during a sharded
+        run, the last run's afterwards, None on the serial path."""
+        if self._shard_ctx is not None:
+            return self._shard_ctx.pool.health
+        return self.last_shard_health
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+
+    #: controller configuration a checkpoint must match to be restorable
+    #: (``workers`` is deliberately absent: results are worker-count-
+    #: invariant, so a resumed run may shard differently)
+    _CONFIG_FIELDS = (
+        "geometry",
+        "seed",
+        "fast_path",
+        "use_mps",
+        "optimize",
+        "full_replan_fraction",
+        "spare_shadow_gpus",
+    )
+
+    def _config_doc(self) -> dict[str, Any]:
+        return {
+            "geometry": self.geometry.name,
+            "seed": self.seed,
+            "fast_path": self.fast_path,
+            "use_mps": self.scheduler.use_mps,
+            "optimize": self.scheduler.optimize,
+            "full_replan_fraction": self.full_replan_fraction,
+            "spare_shadow_gpus": self.spare_shadow_gpus,
+        }
+
+    def checkpoint(
+        self, cursor: int = 0, timeline_sha: Optional[str] = None
+    ) -> dict[str, Any]:
+        """Freeze the active run's full control-plane state as a document.
+
+        Everything a resumed run needs to be bit-identical to an
+        uninterrupted one is captured: the fleet's services (in work-list
+        order — full replans iterate it), the deployed placement and the
+        spare/retired GPU ledgers, the pending (controller-scheduled)
+        event heap with its tie-break sequence, the live report with
+        every accumulator, and the caller's timeline ``cursor``.  Memo
+        caches are *not* captured — a rewarmed memo is bit-identical to
+        a restored one by purity.  Pass the result to
+        :func:`~repro.ops.checkpoint.write_checkpoint` (or use the
+        ``run(..., checkpoint_path=...)`` wiring).
+        """
+        run = self._require_run()
+        state: dict[str, Any] = {
+            "kind": "fleet-controller",
+            "config": self._config_doc(),
+            "cursor": cursor,
+            "timeline_sha": timeline_sha,
+            "pending_seq": self._pending_seq,
+            "eid_to_gpu": sorted(self._eid_to_gpu.items()),
+            "run": {
+                "horizon_s": run.horizon_s,
+                "measure_s": run.measure_s,
+                "warmup_s": run.warmup_s,
+                "sim_seed": run.sim_seed,
+                "sim_fast": run.sim_fast,
+                "check": run.check,
+                "measure_every": run.measure_every,
+                "last_t": run.last_t,
+                "steps": run.steps,
+                "services": [service_to_doc(s) for s in run.work],
+                "pending": [
+                    {"seq": seq, "event": event_doc(ev)}
+                    for _key, seq, ev in sorted(run.pending)
+                ],
+            },
+            "manager": {
+                "placement": (
+                    None
+                    if self.manager.current is None
+                    else placement_to_doc(self.manager.current)
+                ),
+                "spare_gpus": sorted(self.manager.spare_gpus.items()),
+                "retired_gpus": sorted(self.manager.retired_gpus.items()),
+            },
+            "report": report_to_doc(run.report),
+        }
+        return state
+
+    def restore(self, state: Mapping[str, Any]) -> OpsReport:
+        """Rehydrate a checkpointed run; the next :meth:`step` continues it.
+
+        The checkpoint's controller configuration must match this
+        controller exactly (geometry, seed, path flags, replan fraction,
+        shadow budget) — anything less would diverge silently; a
+        mismatch raises :class:`~repro.ops.checkpoint.CheckpointError`.
+        ``workers`` may differ: sharding is bit-identical at any width.
+
+        Restore order matters: the placement is re-deployed onto a
+        fresh cluster first (``deploy`` prunes drafted spares), *then*
+        the spare/retired ledgers are overlaid, then the pending heap
+        and the live report.  The returned report is the same live
+        object later steps append to.
+        """
+        if self._run is not None:
+            raise RuntimeError(
+                "a run is already active on this controller; call finish()"
+            )
+        if state.get("kind") != "fleet-controller":
+            raise CheckpointError(
+                f"not a fleet-controller checkpoint: kind={state.get('kind')!r}"
+            )
+        config = state["config"]
+        mine = self._config_doc()
+        mismatched = [
+            f"{name} (checkpoint {config.get(name)!r} != controller "
+            f"{mine[name]!r})"
+            for name in self._CONFIG_FIELDS
+            if config.get(name) != mine[name]
+        ]
+        if mismatched:
+            raise CheckpointError(
+                "checkpoint was taken under a different controller "
+                "configuration: " + ", ".join(mismatched)
+            )
+        run_doc = state["run"]
+        self._reset_deployment()
+        work = [service_from_doc(d) for d in run_doc["services"]]
+        by_id = {s.id: s for s in work}
+        if len(by_id) != len(work):
+            raise CheckpointError("checkpoint carries duplicate service ids")
+        mgr_doc = state["manager"]
+        if mgr_doc["placement"] is not None:
+            self.manager.deploy(placement_from_doc(mgr_doc["placement"]))
+        self.manager.spare_gpus.clear()
+        self.manager.spare_gpus.update(
+            (int(gid), name) for gid, name in mgr_doc["spare_gpus"]
+        )
+        self.manager.retired_gpus.clear()
+        self.manager.retired_gpus.update(
+            (int(gid), name) for gid, name in mgr_doc["retired_gpus"]
+        )
+        self._eid_to_gpu = {
+            eid: int(gid) for eid, gid in state["eid_to_gpu"]
+        }
+        self._pending_seq = int(state["pending_seq"])
+        pending: list[tuple[tuple[float, int, str], int, OpsEvent]] = []
+        for entry in run_doc["pending"]:
+            ev = event_from_wire_doc(entry["event"])
+            heappush(pending, (timeline_key(ev), int(entry["seq"]), ev))
+        report = report_from_doc(state["report"])
+        # The report describes the *resumed* run from here on.
+        report.workers = self.workers
+        if self.workers >= 1:
+            from repro.sim.shard import ShardContext
+
+            self._shard_ctx = ShardContext(
+                self.workers, fault_injector=self.fault_injector
+            )
+        self._run = _RunState(
+            work=work,
+            by_id=by_id,
+            report=report,
+            horizon_s=run_doc["horizon_s"],
+            measure_s=run_doc["measure_s"],
+            warmup_s=run_doc["warmup_s"],
+            sim_seed=run_doc["sim_seed"],
+            sim_fast=run_doc["sim_fast"],
+            check=run_doc["check"],
+            measure_every=run_doc["measure_every"],
+            pending=pending,
+            last_t=run_doc["last_t"],
+            steps=run_doc["steps"],
+        )
+        return report
 
     # ------------------------------------------------------------------ #
     # the offline run loop (a driver over the step API)
@@ -378,6 +591,11 @@ class FleetController:
         sim_fast_path: Optional[bool] = None,
         check: bool = True,
         measure_every: int = 1,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str | Path] = None,
+        resume: Optional[str | Path | Mapping[str, Any]] = None,
+        max_steps: Optional[int] = None,
     ) -> OpsReport:
         """Drive ``services`` through ``timeline`` until ``horizon_s``.
 
@@ -387,42 +605,139 @@ class FleetController:
         ``sim_fast_path`` defaults to the controller's own ``fast_path``,
         so a naive-reference replay also exercises the event-driven
         simulation engine.
+
+        Crash resilience: ``checkpoint_path`` (with ``checkpoint_every=N``)
+        writes an atomic checkpoint after every Nth interval boundary, and
+        ``resume`` (a checkpoint path or an in-memory state document)
+        restores one and continues — bit-identical, interval for
+        interval, to the run that was never interrupted.  The resume's
+        run parameters and timeline must match the checkpointed run's
+        (verified; the timeline via a stored digest).  ``max_steps``
+        stops after that many total intervals, flushing a final
+        checkpoint first — the planned-drain counterpart of a crash.
         """
-        report = self.begin(
-            services,
-            horizon_s,
-            measure_s=measure_s,
-            warmup_s=warmup_s,
-            sim_seed=sim_seed,
-            sim_fast_path=sim_fast_path,
-            check=check,
-            measure_every=measure_every,
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        static = sorted(
+            (e for e in timeline if e.time_s < horizon_s), key=timeline_key
         )
-        try:
-            static = sorted(
-                (e for e in timeline if e.time_s < horizon_s), key=timeline_key
+        digest = timeline_digest(static)
+        if resume is not None:
+            state = resolve_resume(resume)
+            self._check_resume_args(
+                state,
+                horizon_s=horizon_s,
+                measure_s=measure_s,
+                warmup_s=warmup_s,
+                sim_seed=sim_seed,
+                sim_fast=(
+                    self.fast_path if sim_fast_path is None else sim_fast_path
+                ),
+                check=check,
+                measure_every=measure_every,
+                timeline_sha=digest,
+            )
+            report = self.restore(state)
+            si = int(state["cursor"])
+            t = self._next_instant(static, si)
+        else:
+            report = self.begin(
+                services,
+                horizon_s,
+                measure_s=measure_s,
+                warmup_s=warmup_s,
+                sim_seed=sim_seed,
+                sim_fast_path=sim_fast_path,
+                check=check,
+                measure_every=measure_every,
             )
             si = 0
-            t = 0.0  # the bootstrap interval exists even on an empty timeline
-            while True:
+            # the bootstrap interval exists even on an empty timeline
+            t = 0.0
+        try:
+            while t is not None:
                 batch: list[OpsEvent] = []
                 while si < len(static) and static[si].time_s <= t:
                     batch.append(static[si])
                     si += 1
                 batch.extend(self.pending_due(t))
                 self.step(t, batch)
-                next_times = []
-                if si < len(static):
-                    next_times.append(static[si].time_s)
-                pt = self.next_pending_time()
-                if pt is not None:
-                    next_times.append(pt)
-                if not next_times:
+                steps = self._require_run().steps
+                if (
+                    checkpoint_path is not None
+                    and checkpoint_every
+                    and steps % checkpoint_every == 0
+                ):
+                    write_checkpoint(
+                        checkpoint_path,
+                        self.checkpoint(cursor=si, timeline_sha=digest),
+                    )
+                if max_steps is not None and steps >= max_steps:
+                    if checkpoint_path is not None:
+                        write_checkpoint(
+                            checkpoint_path,
+                            self.checkpoint(cursor=si, timeline_sha=digest),
+                        )
                     break
-                t = min(next_times)
+                t = self._next_instant(static, si)
         finally:
             report = self.finish()
         return report
+
+    def _next_instant(
+        self, static: Sequence[OpsEvent], si: int
+    ) -> Optional[float]:
+        """The run loop's next step instant, or None when drained."""
+        next_times = []
+        if si < len(static):
+            next_times.append(static[si].time_s)
+        pt = self.next_pending_time()
+        if pt is not None:
+            next_times.append(pt)
+        return min(next_times) if next_times else None
+
+    @staticmethod
+    def _check_resume_args(
+        state: Mapping[str, Any],
+        *,
+        horizon_s: float,
+        measure_s: float,
+        warmup_s: float,
+        sim_seed: int,
+        sim_fast: bool,
+        check: bool,
+        measure_every: int,
+        timeline_sha: str,
+    ) -> None:
+        """Resuming under different run parameters would diverge silently."""
+        run_doc = state.get("run", {})
+        wanted = {
+            "horizon_s": horizon_s,
+            "measure_s": measure_s,
+            "warmup_s": warmup_s,
+            "sim_seed": sim_seed,
+            "sim_fast": sim_fast,
+            "check": check,
+            "measure_every": measure_every,
+        }
+        mismatched = [
+            f"{name} (checkpoint {run_doc.get(name)!r} != {value!r})"
+            for name, value in wanted.items()
+            if run_doc.get(name) != value
+        ]
+        if mismatched:
+            raise CheckpointError(
+                "resume parameters differ from the checkpointed run: "
+                + ", ".join(mismatched)
+            )
+        stored_sha = state.get("timeline_sha")
+        if stored_sha is not None and stored_sha != timeline_sha:
+            raise CheckpointError(
+                "resume timeline differs from the checkpointed run's "
+                "(digest mismatch) — continuing would silently diverge"
+            )
 
     # ------------------------------------------------------------------ #
     # event application
@@ -796,7 +1111,7 @@ class FleetController:
             shard_context=self._shard_ctx if sim_fast else None,
         )
         record.compliance = m.compliance
-        record.sim_fingerprint = m.fingerprint
+        record.sim_fingerprint = _record_digest(m.fingerprint)
         record.per_service_compliance = m.per_service
         if m.per_service:
             record.worst_service = m.worst_service

@@ -17,6 +17,9 @@ the :class:`~repro.ops.report.OpsReport` while it grows:
 - :mod:`repro.serve.intake` — the ordered intake queue
   (:func:`~repro.ops.events.timeline_key` semantics over a live
   stream);
+- :mod:`repro.serve.journal` — the write-ahead journal: admitted
+  events are persisted in wire format before use, so a crashed
+  session replays bit-identically (:func:`~repro.serve.journal.replay_journal`);
 - :mod:`repro.serve.gateway` — the
   :class:`~repro.serve.gateway.ServeGateway` control loop, its deadline
   scheduler, and the replay-identity helpers;
@@ -39,6 +42,14 @@ from repro.serve.gateway import (
     replay_identity_checked,
 )
 from repro.serve.intake import IntakeItem, IntakeQueue
+from repro.serve.journal import (
+    Journal,
+    JournalRecovery,
+    JournalStats,
+    journal_segments,
+    read_journal,
+    replay_journal,
+)
 from repro.serve.realclock import MonotonicClock
 from repro.serve.sources import (
     EVENT_TYPES,
@@ -47,6 +58,7 @@ from repro.serve.sources import (
     event_from_doc,
     event_to_doc,
     jsonl_source,
+    resilient_source,
     stream_source,
     timeline_source,
 )
@@ -73,4 +85,11 @@ __all__ = [
     "timeline_source",
     "jsonl_source",
     "stream_source",
+    "resilient_source",
+    "Journal",
+    "JournalStats",
+    "JournalRecovery",
+    "journal_segments",
+    "read_journal",
+    "replay_journal",
 ]

@@ -39,9 +39,11 @@ from __future__ import annotations
 import asyncio
 import math
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import AsyncIterator, Iterable, Optional, Sequence
 
 from repro.core.service import Service
+from repro.ops.checkpoint import write_checkpoint
 from repro.ops.controller import FleetController, assert_reports_identical
 from repro.ops.events import (
     GpuFailure,
@@ -52,6 +54,7 @@ from repro.ops.events import (
 from repro.ops.report import OpsReport
 from repro.serve.clock import Clock, VirtualClock
 from repro.serve.intake import IntakeItem, IntakeQueue
+from repro.serve.journal import Journal
 from repro.serve.sources import timeline_source
 
 #: Events the deadline scheduler refuses to defer: lost (or returning)
@@ -85,6 +88,25 @@ class GatewayHealth:
     late_steps: int = 0
     #: events refused because they were stamped at/past the horizon
     dropped_beyond_horizon: int = 0
+    #: source reconnect attempts that eventually made progress
+    source_retries: int = 0
+    #: sources that died for good (retry budget exhausted) — safe mode
+    source_failures: int = 0
+    #: undecodable intake lines skipped (degraded-intake mode)
+    malformed_lines: int = 0
+    #: events admitted through the HTTP write path (``POST /events``)
+    injected_events: int = 0
+    #: HTTP submissions refused (malformed body or closed intake)
+    rejected_events: int = 0
+    #: transport errors swallowed while serving the status surface
+    http_errors: int = 0
+    #: control-plane checkpoints flushed (periodic + shutdown)
+    checkpoint_writes: int = 0
+    #: checkpoint flushes that failed (counted, never fatal mid-run)
+    checkpoint_errors: int = 0
+    #: the intake source is gone; the loop is draining what it has and
+    #: will flush a final checkpoint at shutdown
+    safe_mode: bool = False
     #: per-step reaction latency in real seconds: work-stopwatch span
     #: from the batch's earliest enqueue to step completion (live only)
     reactions_s: list[float] = field(default_factory=list)
@@ -106,6 +128,15 @@ class GatewayHealth:
             "forced_flushes": self.forced_flushes,
             "late_steps": self.late_steps,
             "dropped_beyond_horizon": self.dropped_beyond_horizon,
+            "source_retries": self.source_retries,
+            "source_failures": self.source_failures,
+            "malformed_lines": self.malformed_lines,
+            "injected_events": self.injected_events,
+            "rejected_events": self.rejected_events,
+            "http_errors": self.http_errors,
+            "checkpoint_writes": self.checkpoint_writes,
+            "checkpoint_errors": self.checkpoint_errors,
+            "safe_mode": self.safe_mode,
         }
         if self.reactions_s:
             pct = self.reaction_percentiles()
@@ -133,6 +164,9 @@ class ServeGateway:
         deadline_budget_s: Optional[float] = None,
         max_deferrals: int = 8,
         snapshot_every: int = 0,
+        journal: Optional[Journal] = None,
+        checkpoint_path: Optional[str | Path] = None,
+        checkpoint_every: int = 0,
     ) -> None:
         if deadline_budget_s is not None and deadline_budget_s <= 0:
             raise ValueError("deadline budget must be positive")
@@ -140,6 +174,10 @@ class ServeGateway:
             raise ValueError("max_deferrals must be >= 1")
         if snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         self.controller = controller
         self.services = list(services)
         self.horizon_s = horizon_s
@@ -154,6 +192,13 @@ class ServeGateway:
         #: refresh the cached status snapshot every N steps (0 = only on
         #: demand / at shutdown — the cheap default for pure replays)
         self.snapshot_every = snapshot_every
+        #: write-ahead journal: every admitted event is persisted before
+        #: it enters the intake queue, so a crashed session replays
+        self.journal = journal
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.checkpoint_every = checkpoint_every
         self.intake = IntakeQueue()
         self.health = GatewayHealth()
         self.report: Optional[OpsReport] = None
@@ -161,6 +206,7 @@ class ServeGateway:
         self._streak = 0  # consecutive deferrals
         self._last_t: Optional[float] = None
         self._cached_snapshot: Optional[dict[str, object]] = None
+        self._source_error: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # the control loop
@@ -194,17 +240,78 @@ class ServeGateway:
                     await feeder
                 except asyncio.CancelledError:
                     pass
+            # Always flush a final checkpoint — the safe-mode shutdown
+            # contract — before the run closes and state is torn down.
+            self._write_checkpoint()
             self.report = self.controller.finish()
+            if self.journal is not None:
+                self.journal.close()
         self._refresh_snapshot()
         return self.report
 
     async def _feed(self, source: AsyncIterator[OpsEvent]) -> None:
-        async for event in source:
-            if event.time_s >= self.horizon_s:
-                self.health.dropped_beyond_horizon += 1
-                continue
-            self.intake.push(event, enqueued_at=self.clock.work_seconds())
-        self.intake.close()
+        try:
+            async for event in source:
+                self._admit(event)
+        except (ConnectionError, OSError, EOFError, ValueError) as exc:
+            # The last rung of the intake degradation ladder: per-line
+            # skips and source reconnects happen upstream (``sources``);
+            # an error surfacing *here* means the stream is gone for
+            # good.  Enter safe mode: drain what was admitted, then shut
+            # down through the normal path (final checkpoint included).
+            self.health.source_failures += 1
+            self.health.safe_mode = True
+            self._source_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            self.intake.close()
+
+    def _admit(self, event: OpsEvent) -> bool:
+        """Horizon-check, journal (write-ahead), and enqueue one event."""
+        if event.time_s >= self.horizon_s:
+            self.health.dropped_beyond_horizon += 1
+            return False
+        if self.journal is not None:
+            self.journal.append(event)
+        self.intake.push(event, enqueued_at=self.clock.work_seconds())
+        return True
+
+    def inject(self, events: Sequence[OpsEvent]) -> tuple[int, int]:
+        """Admit externally submitted events (the HTTP write path).
+
+        Returns ``(accepted, dropped)`` — dropped meaning stamped at or
+        past the horizon.  Raises :class:`RuntimeError` once the intake
+        is closed (the session is draining or finished).
+        """
+        accepted = 0
+        dropped = 0
+        for event in events:
+            if self._admit(event):
+                accepted += 1
+                self.health.injected_events += 1
+            else:
+                dropped += 1
+        return accepted, dropped
+
+    def count_malformed(self, line: str) -> None:
+        """``on_malformed`` hook for sources: count a skipped bad line."""
+        del line
+        self.health.malformed_lines += 1
+
+    def count_retry(self, exc: BaseException) -> None:
+        """``on_retry`` hook for :func:`resilient_source`."""
+        del exc
+        self.health.source_retries += 1
+
+    def _write_checkpoint(self) -> None:
+        """Flush the controller's full state; failure is counted, not fatal."""
+        if self.checkpoint_path is None:
+            return
+        try:
+            write_checkpoint(self.checkpoint_path, self.controller.checkpoint())
+        except OSError:
+            self.health.checkpoint_errors += 1
+        else:
+            self.health.checkpoint_writes += 1
 
     async def _loop(self, feeder: Optional[asyncio.Task[None]]) -> None:
         t = 0.0  # the bootstrap interval exists even on an empty stream
@@ -332,6 +439,11 @@ class ServeGateway:
             self.health.reactions_s.append(finished - earliest)
         if self.snapshot_every and self.health.steps % self.snapshot_every == 0:
             self._refresh_snapshot()
+        if (
+            self.checkpoint_every
+            and self.health.steps % self.checkpoint_every == 0
+        ):
+            self._write_checkpoint()
 
     def _flush_deferred(self) -> None:
         """Force-apply anything still parked when the run winds down."""
@@ -354,12 +466,24 @@ class ServeGateway:
             assert self._cached_snapshot is not None
         return self._cached_snapshot
 
+    def health_doc(self) -> dict[str, object]:
+        """The full health surface: gateway, shard pool, and journal."""
+        doc = self.health.to_doc()
+        if self._source_error is not None:
+            doc["source_error"] = self._source_error
+        shard = self.controller.shard_health()
+        if shard is not None:
+            doc["shard_pool"] = shard.to_doc()
+        if self.journal is not None:
+            doc["journal"] = self.journal.stats.to_doc()
+        return doc
+
     def _refresh_snapshot(self) -> None:
         self._cached_snapshot = {
             "scenario_time_s": round(self.clock.now(), 3),
             "virtual_clock": self.clock.is_virtual,
             "intake_depth": len(self.intake),
-            "health": self.health.to_doc(),
+            "health": self.health_doc(),
             "report": None if self.report is None else self.report.to_doc(),
         }
 

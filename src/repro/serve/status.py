@@ -8,11 +8,22 @@ reads the wall clock):
   :class:`~repro.ops.report.OpsReport` snapshot plus health signals
   (the gateway refreshes it every ``snapshot_every`` steps, so a
   request is O(1) and reads are bounded-stale, never torn);
-- ``GET /health`` — just the degradation signals
-  (:class:`~repro.serve.gateway.GatewayHealth`), rebuilt per request.
+- ``GET /health`` — the full degradation surface
+  (:meth:`~repro.serve.gateway.ServeGateway.health_doc`): gateway
+  counters plus shard-pool recovery health plus journal stats, rebuilt
+  per request;
+- ``POST /events`` — submit events in the canonical wire format (one
+  JSON object per line, as :func:`~repro.serve.sources.encode_event`
+  emits).  Accepted events are journaled and enqueued exactly like
+  source events; a malformed body is a ``400`` (counted in
+  ``rejected_events``) without disturbing the session, and a closed
+  intake is a ``409``.
 
 One request per connection (``Connection: close``) keeps the protocol
-trivially correct for ``curl`` and the CLI's own probes.
+trivially correct for ``curl`` and the CLI's own probes.  Transport
+errors while answering a request are swallowed — a dying client must
+not kill the control plane — but never silently: each one increments
+the gateway's ``http_errors`` health counter.
 """
 
 from __future__ import annotations
@@ -21,7 +32,13 @@ import asyncio
 import json
 from typing import Optional
 
+from repro.ops.events import OpsEvent
 from repro.serve.gateway import ServeGateway
+from repro.serve.sources import decode_event
+
+#: refuse request bodies beyond this size (a local status port is not a
+#: bulk-ingest path)
+MAX_BODY_BYTES = 1 << 20
 
 
 class StatusServer:
@@ -61,21 +78,23 @@ class StatusServer:
     ) -> None:
         try:
             request = await reader.readline()
+            content_length = 0
             while True:  # drain request headers up to the blank line
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        content_length = 0
             parts = request.decode("latin-1").split()
             method = parts[0] if parts else ""
             path = parts[1] if len(parts) > 1 else "/"
-            if method != "GET":
-                status, doc = "405 Method Not Allowed", {"error": "GET only"}
-            elif path in ("/", "/report"):
-                status, doc = "200 OK", self.gateway.snapshot()
-            elif path == "/health":
-                status, doc = "200 OK", dict(self.gateway.health.to_doc())
-            else:
-                status, doc = "404 Not Found", {"error": f"no route {path}"}
+            status, doc = await self._route(
+                method, path, reader, content_length
+            )
             body = json.dumps(doc, sort_keys=True).encode("utf-8")
             writer.write(
                 f"HTTP/1.1 {status}\r\n"
@@ -86,9 +105,76 @@ class StatusServer:
             )
             writer.write(body)
             await writer.drain()
+        except (ConnectionError, OSError):
+            # A client that hung up mid-request must not take the
+            # control plane with it — swallowed, but counted.
+            self.gateway.health.http_errors += 1
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
-                pass
+                self.gateway.health.http_errors += 1
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        reader: asyncio.StreamReader,
+        content_length: int,
+    ) -> tuple[str, dict[str, object]]:
+        routes = {
+            "/": "GET",
+            "/report": "GET",
+            "/health": "GET",
+            "/events": "POST",
+        }
+        allowed = routes.get(path)
+        if allowed is None:
+            return "404 Not Found", {"error": f"no route {path}"}
+        if method != allowed:
+            return "405 Method Not Allowed", {
+                "error": f"{path} accepts {allowed} only"
+            }
+        if path == "/events":
+            return await self._post_events(reader, content_length)
+        if path == "/health":
+            return "200 OK", self.gateway.health_doc()
+        return "200 OK", self.gateway.snapshot()
+
+    async def _post_events(
+        self, reader: asyncio.StreamReader, content_length: int
+    ) -> tuple[str, dict[str, object]]:
+        if content_length <= 0:
+            self.gateway.health.rejected_events += 1
+            return "400 Bad Request", {"error": "empty body"}
+        if content_length > MAX_BODY_BYTES:
+            self.gateway.health.rejected_events += 1
+            return "400 Bad Request", {
+                "error": f"body exceeds {MAX_BODY_BYTES} bytes"
+            }
+        try:
+            raw = await reader.readexactly(content_length)
+        except asyncio.IncompleteReadError:
+            self.gateway.health.rejected_events += 1
+            return "400 Bad Request", {"error": "truncated body"}
+        events: list[OpsEvent] = []
+        for n, line in enumerate(raw.decode("utf-8", errors="replace").split("\n")):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(decode_event(line))
+            except ValueError as exc:
+                # All-or-nothing: one bad line rejects the batch, and
+                # nothing has been admitted yet.
+                self.gateway.health.rejected_events += 1
+                return "400 Bad Request", {
+                    "error": f"line {n}: {exc}",
+                }
+        try:
+            accepted, dropped = self.gateway.inject(events)
+        except RuntimeError:
+            self.gateway.health.rejected_events += 1
+            return "409 Conflict", {"error": "intake closed"}
+        return "202 Accepted", {"accepted": accepted, "dropped": dropped}

@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.core.placement import PlacedSegment, Placement
 from repro.core.service import Service
-from repro.parallel import ShardPool, partition
+from repro.parallel import FaultInjector, ShardPool, partition
 from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
 from repro.sim.fastpath import (
     _SegmentKernel,
@@ -126,11 +126,20 @@ class ShardContext:
     depend on the shared rng stream and always re-simulate.
     """
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        fault_injector: Optional["FaultInjector"] = None,
+        job_timeout_s: Optional[float] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self.pool = ShardPool(workers)
+        self.pool = ShardPool(
+            workers,
+            fault_injector=fault_injector,
+            job_timeout_s=job_timeout_s,
+        )
         self.memo: dict[tuple, tuple] = {}
         self.memo_hits = 0
         self.memo_misses = 0

@@ -342,6 +342,64 @@ class TestD006:
 
 
 # --------------------------------------------------------------------- #
+# D007 - swallowed exceptions
+# --------------------------------------------------------------------- #
+
+
+class TestD007:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "try:\n    f()\nexcept Exception:\n    pass\n",
+            "try:\n    f()\nexcept BaseException:\n    pass\n",
+            "try:\n    f()\nexcept:\n    result = None\n",
+            "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n",
+            # a logging call is not an acknowledgement: nothing counted,
+            # nothing re-raised
+            "try:\n    f()\nexcept Exception as exc:\n    log(exc)\n",
+        ],
+    )
+    def test_swallowing_handler(self, snippet):
+        assert codes(snippet) == ["D007"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # narrow types are fine even when silent
+            "try:\n    f()\nexcept ValueError:\n    pass\n",
+            "try:\n    f()\nexcept (ConnectionError, OSError):\n    pass\n",
+            # a counter increment acknowledges the failure
+            "try:\n    f()\nexcept Exception:\n    health.errors += 1\n",
+            # re-raising (bare or wrapped) acknowledges it
+            "try:\n    f()\nexcept Exception:\n    raise\n",
+            (
+                "try:\n    f()\nexcept Exception as exc:\n"
+                "    raise RuntimeError('x') from exc\n"
+            ),
+            # the counter may sit under a condition
+            (
+                "try:\n    f()\nexcept Exception:\n"
+                "    if counting:\n        stats.failed += 1\n"
+            ),
+        ],
+    )
+    def test_acknowledged_or_narrow_handler(self, snippet):
+        assert codes(snippet) == []
+
+    def test_outside_identity_modules_is_quiet(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert codes(src, PLAIN) == []
+
+    def test_disable_with_reason(self):
+        src = (
+            "try:\n    f()\n"
+            f"except Exception:  {disable('D007', 'best-effort cleanup')}\n"
+            "    pass\n"
+        )
+        assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
 # Cross-cutting: disables, parsing, multiple findings
 # --------------------------------------------------------------------- #
 

@@ -1,0 +1,100 @@
+"""Property: crash anywhere, resume anywhere — always bit-identical.
+
+Hypothesis drives the crash geometry: the kill step, the worker count
+that resumes the run, the checkpoint cadence, and a seeded worker-crash
+plan.  Whatever combination it draws, the recovered run's full
+``OpsReport.to_doc()`` must equal the uninterrupted reference's
+(modulo the ``workers`` label when resuming onto a different shard
+count — the one field that *names* the topology rather than the work).
+"""
+
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ops import FleetController
+from repro.ops.controller import assert_reports_identical
+from repro.resilience import FaultPlan
+from repro.scenarios.ops import bench_ops_run
+
+SEED = 13
+SIM_SEED = 2
+MEASURE_S = 0.2
+
+#: one small fleet, scheduled once — each hypothesis example replays it
+RUN = bench_ops_run(30)
+
+
+def replay(*, workers=0, fault_injector=None, **kwargs):
+    ctrl = FleetController(
+        fast_path=True, seed=SEED, workers=workers,
+        fault_injector=fault_injector,
+    )
+    return ctrl, ctrl.run(
+        RUN.services, RUN.timeline, RUN.horizon_s,
+        measure_s=MEASURE_S, sim_seed=SIM_SEED, **kwargs,
+    )
+
+
+_, REFERENCE = replay()
+N_STEPS = len(REFERENCE.intervals)
+
+
+def doc_without_topology(report):
+    doc = dict(report.to_doc())
+    doc.pop("workers")
+    return doc
+
+
+@given(
+    kill_at=st.integers(min_value=1, max_value=N_STEPS - 1),
+    cadence=st.integers(min_value=1, max_value=4),
+    resume_workers=st.sampled_from([0, 1, 2]),
+)
+@settings(max_examples=12, deadline=None)
+def test_kill_anywhere_resume_on_any_topology(
+    kill_at, cadence, resume_workers
+):
+    with tempfile.TemporaryDirectory() as td:
+        ck = os.path.join(td, "ck.json")
+        replay(checkpoint_every=cadence, checkpoint_path=ck,
+               max_steps=kill_at)
+        _, resumed = replay(workers=resume_workers, resume=ck)
+    assert_reports_identical(resumed, REFERENCE)
+    assert doc_without_topology(resumed) == doc_without_topology(REFERENCE)
+
+
+@given(
+    kill_at=st.integers(min_value=1, max_value=N_STEPS - 1),
+    plan_seed=st.integers(min_value=0, max_value=31),
+    crashes=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=8, deadline=None)
+def test_worker_crashes_during_resumed_run(kill_at, plan_seed, crashes):
+    """Compound faults: kill the controller, then crash shard workers
+    while the *resumed* run is still catching up."""
+    injector = FaultPlan(
+        seed=plan_seed, worker_crashes=crashes, max_batch=6, max_index=2
+    ).injector()
+    with tempfile.TemporaryDirectory() as td:
+        ck = os.path.join(td, "ck.json")
+        replay(checkpoint_every=1, checkpoint_path=ck, max_steps=kill_at)
+        _, resumed = replay(workers=2, fault_injector=injector, resume=ck)
+    assert_reports_identical(resumed, REFERENCE)
+    assert doc_without_topology(resumed) == doc_without_topology(REFERENCE)
+
+
+def test_chained_resume_matches_single_resume():
+    """Checkpoint → kill → resume → kill again → resume: the chain of
+    two partial runs ends exactly where one uninterrupted resume does."""
+    third = max(1, N_STEPS // 3)
+    with tempfile.TemporaryDirectory() as td:
+        ck = os.path.join(td, "ck.json")
+        replay(checkpoint_every=1, checkpoint_path=ck, max_steps=third)
+        replay(checkpoint_every=1, checkpoint_path=ck, resume=ck,
+               max_steps=2 * third)
+        _, resumed = replay(resume=ck)
+    assert_reports_identical(resumed, REFERENCE)
+    assert resumed.to_doc() == REFERENCE.to_doc()

@@ -1,0 +1,188 @@
+"""ShardPool survival ladder: crashes, hangs, degradation, cancellation.
+
+Worker processes die on purpose here (``os._exit`` via the fault
+injector) and jobs hang on purpose (injected delays past the pool's
+deadline); the pool must recover through rebuild → retry → degrade →
+inline while returning exactly the results a healthy pool would — and
+a job's *own* exception must cancel its outstanding siblings and
+surface as the first positional error, never as a pool failure.
+"""
+
+import time
+
+import pytest
+
+from repro.parallel import ShardPool
+from repro.resilience import FaultPlan, WorkerFaultInjector
+
+#: keep recovery fast in tests — the ladder, not the waits, is under test
+FAST = {"backoff_s": 0.0}
+
+
+def square(x):
+    return x * x
+
+
+def raise_on_negative(x):
+    if x < 0:
+        raise ValueError(f"bad job {x}")
+    time.sleep(0.02)
+    return x
+
+
+def slow_identity(x):
+    time.sleep(0.05)
+    return x
+
+
+class AlwaysCrash:
+    """Kills the worker on *every* attempt — the ladder's worst case.
+
+    Module-level (unlike the seeded injectors) because instances must
+    pickle into worker processes.
+    """
+
+    def before(self, batch, attempt, index, in_worker):
+        if in_worker:
+            import os
+
+            os._exit(43)
+
+
+class TestHealthyPath:
+    def test_results_in_job_order(self):
+        with ShardPool(2, **FAST) as pool:
+            assert pool.run(square, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+            assert pool.health.batches == 1
+            assert pool.health.worker_crashes == 0
+
+    def test_inline_mode_matches_pooled(self):
+        jobs = list(range(15))
+        with ShardPool(1, **FAST) as inline, ShardPool(2, **FAST) as pooled:
+            assert inline.run(square, jobs) == pooled.run(square, jobs)
+            assert inline.health.inline_batches == 1
+            assert pooled.health.inline_batches == 0
+
+    def test_empty_batch_is_free(self):
+        with ShardPool(2, **FAST) as pool:
+            assert pool.run(square, []) == []
+            assert pool.health.batches == 0
+
+
+class TestWorkerCrash:
+    def test_crash_recovers_with_identical_results(self):
+        injector = WorkerFaultInjector(crash_jobs=((0, 1),))
+        with ShardPool(2, fault_injector=injector, **FAST) as pool:
+            assert pool.run(square, list(range(8))) == [
+                x * x for x in range(8)
+            ]
+            assert pool.health.worker_crashes >= 1
+            assert pool.health.pool_rebuilds >= 1
+            assert pool.health.retries >= 1
+
+    def test_crash_surfacing_at_next_submit_recovers(self):
+        """A death noticed only at the next batch's submit() still heals."""
+        injector = WorkerFaultInjector(crash_jobs=((1, 0),))
+        with ShardPool(2, fault_injector=injector, **FAST) as pool:
+            for batch in range(4):
+                jobs = list(range(batch, batch + 6))
+                assert pool.run(square, jobs) == [x * x for x in jobs]
+            assert pool.health.worker_crashes >= 1
+            assert pool.health.pool_rebuilds >= 1
+
+    def test_seeded_plan_recovers_every_batch(self):
+        injector = FaultPlan(
+            seed=5, worker_crashes=3, max_batch=5, max_index=2
+        ).injector()
+        with ShardPool(2, fault_injector=injector, **FAST) as pool:
+            for batch in range(5):
+                jobs = list(range(6))
+                assert pool.run(square, jobs) == [x * x for x in jobs]
+            assert pool.health.worker_crashes > 0
+
+    def test_persistent_crashes_degrade_to_inline(self):
+        """Faults on every attempt force the ladder all the way down."""
+        with ShardPool(
+            2, fault_injector=AlwaysCrash(), max_attempts=2, **FAST
+        ) as pool:
+            assert pool.run(square, [1, 2, 3]) == [1, 4, 9]
+            assert pool.health.degradations >= 1
+            assert pool.health.inline_batches == 1
+            assert pool.health.active_workers == 1
+            # the degraded width is sticky: the next batch starts inline
+            assert pool.run(square, [4]) == [16]
+            assert pool.health.inline_batches == 2
+
+
+class TestHungWorker:
+    def test_timeout_kills_and_recovers(self):
+        injector = WorkerFaultInjector(delay_jobs=((0, 0),), delay_s=30.0)
+        with ShardPool(
+            2, fault_injector=injector, job_timeout_s=0.3, **FAST
+        ) as pool:
+            t0 = time.monotonic()  # repro-lint: disable=D002 (elapsed wall time IS the quantity under test: the hung worker must be killed, not awaited)
+            assert pool.run(square, [5, 6]) == [25, 36]
+            elapsed = time.monotonic() - t0  # repro-lint: disable=D002 (see above)
+            assert elapsed < 10  # killed, not awaited for the 30 s delay
+            assert pool.health.timeouts >= 1
+            assert pool.health.pool_rebuilds >= 1
+
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(ValueError, match="job_timeout_s"):
+            ShardPool(2, job_timeout_s=0.0)
+
+
+class TestJobException:
+    """The satellite regression: a failing job is the *caller's* problem
+    (first positional error, siblings cancelled), not a pool failure."""
+
+    def test_first_positional_error_surfaces(self):
+        with ShardPool(2, **FAST) as pool:
+            with pytest.raises(ValueError, match="bad job -3"):
+                pool.run(raise_on_negative, [-3, 1, -7, 2])
+            # no pool-level recovery fired for a job-level bug
+            assert pool.health.worker_crashes == 0
+            assert pool.health.retries == 0
+
+    def test_siblings_are_cancelled(self):
+        with ShardPool(2, **FAST) as pool:
+            jobs = [-1] + list(range(40))
+            with pytest.raises(ValueError, match="bad job -1"):
+                pool.run(raise_on_negative, jobs)
+            assert pool.health.cancelled_siblings > 0
+
+    def test_pool_still_usable_after_job_error(self):
+        with ShardPool(2, **FAST) as pool:
+            with pytest.raises(ValueError):
+                pool.run(raise_on_negative, [-1, 1, 2])
+            assert pool.run(square, [3, 4]) == [9, 16]
+
+    def test_inline_job_error_propagates(self):
+        with ShardPool(1, **FAST) as pool:
+            with pytest.raises(ValueError, match="bad job -9"):
+                pool.run(raise_on_negative, [-9])
+
+
+class TestInjectorScoping:
+    def test_crash_faults_never_fire_inline(self):
+        """in_worker=False guards the parent process from kill faults."""
+        injector = WorkerFaultInjector(crash_jobs=((0, 0), (1, 0), (2, 0)))
+        with ShardPool(1, fault_injector=injector, **FAST) as pool:
+            assert pool.run(square, [2, 3]) == [4, 9]
+            assert pool.health.worker_crashes == 0
+
+    def test_faults_fire_only_on_first_attempt(self):
+        injector = WorkerFaultInjector(crash_jobs=((0, 0),))
+        with ShardPool(2, fault_injector=injector, max_attempts=3, **FAST) as pool:
+            assert pool.run(square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            # exactly one crash: the retry (attempt 1) ran clean
+            assert pool.health.worker_crashes == 1
+
+    def test_plan_is_deterministic(self):
+        plan = FaultPlan(seed=11, worker_crashes=2, job_delays=1, delay_s=0.1)
+        assert plan.injector() == plan.injector()
+        assert plan.injector() != FaultPlan(
+            seed=12, worker_crashes=2, job_delays=1, delay_s=0.1
+        ).injector()

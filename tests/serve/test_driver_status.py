@@ -14,6 +14,7 @@ from repro.serve import (
     StatusServer,
     VirtualClock,
     decode_event,
+    encode_event,
     replay_identity_checked,
     scripted_source,
     timeline_source,
@@ -148,3 +149,183 @@ class TestStatusServer:
                 await server.stop()
 
         asyncio.run(scenario())
+
+
+async def post(port, path, body, content_length=None):
+    payload = body.encode()
+    length = len(payload) if content_length is None else content_length
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(
+        f"POST {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {length}\r\n\r\n".encode()
+    )
+    writer.write(payload)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body = data.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(body)
+
+
+class TestPostEvents:
+    """``POST /events``: live event submission over the status port."""
+
+    def live_session(self, profiles, services, **gateway_kwargs):
+        """A gateway mid-run: the source holds the intake open until
+        released, so requests hit a *live* control loop."""
+        gateway = ServeGateway(
+            FleetController(profiles), services, 100.0, VirtualClock(),
+            measure_s=0.1, **gateway_kwargs,
+        )
+        gate = asyncio.Event()
+
+        async def source():
+            for event in timeline():
+                yield event
+            await gate.wait()
+
+        return gateway, source, gate
+
+    def test_posted_events_enter_the_session(self, profiles, services):
+        async def scenario():
+            gateway, source, gate = self.live_session(profiles, services)
+            server = StatusServer(gateway)
+            await server.start()
+            run = asyncio.create_task(gateway.run(source()))
+            try:
+                lines = "\n".join([
+                    encode_event(
+                        RateEpoch(time_s=60.0, service_id="a", rate=3000.0)
+                    ),
+                    encode_event(  # beyond the 100 s horizon: dropped
+                        RateEpoch(time_s=500.0, service_id="a", rate=1.0)
+                    ),
+                ])
+                status, doc = await post(server.port, "/events", lines)
+            finally:
+                gate.set()
+                await run
+                await server.stop()
+            return status, doc, gateway
+
+        status, doc, gateway = asyncio.run(scenario())
+        assert status == 202
+        assert doc == {"accepted": 1, "dropped": 1}
+        assert gateway.health.injected_events == 1
+        assert gateway.health.dropped_beyond_horizon == 1
+        applied = {
+            kind
+            for r in gateway.report.intervals
+            for kind in r.events
+        }
+        assert "RateEpoch" in applied
+
+    def test_malformed_line_rejects_whole_batch(self, profiles, services):
+        async def scenario():
+            gateway, source, gate = self.live_session(profiles, services)
+            server = StatusServer(gateway)
+            await server.start()
+            run = asyncio.create_task(gateway.run(source()))
+            try:
+                good = encode_event(
+                    RateEpoch(time_s=60.0, service_id="a", rate=3000.0)
+                )
+                status, doc = await post(
+                    server.port, "/events", good + "\nnot json\n"
+                )
+            finally:
+                gate.set()
+                await run
+                await server.stop()
+            return status, doc, gateway
+
+        status, doc, gateway = asyncio.run(scenario())
+        assert status == 400
+        assert "line 1" in doc["error"]
+        assert gateway.health.injected_events == 0  # all-or-nothing
+        assert gateway.health.rejected_events == 1
+
+    def test_empty_body_rejected(self, profiles, services):
+        async def scenario():
+            gateway, source, gate = self.live_session(profiles, services)
+            server = StatusServer(gateway)
+            await server.start()
+            run = asyncio.create_task(gateway.run(source()))
+            try:
+                return await post(server.port, "/events", "")
+            finally:
+                gate.set()
+                await run
+                await server.stop()
+
+        status, doc = asyncio.run(scenario())
+        assert status == 400
+        assert "empty" in doc["error"]
+
+    def test_closed_intake_conflicts(self, profiles, services):
+        gateway = ServeGateway(
+            FleetController(profiles), services, 100.0, VirtualClock(),
+            measure_s=0.1,
+        )
+        asyncio.run(gateway.run(timeline_source(timeline())))
+
+        async def scenario():
+            server = StatusServer(gateway)
+            await server.start()
+            try:
+                line = encode_event(
+                    RateEpoch(time_s=60.0, service_id="a", rate=1.0)
+                )
+                return await post(server.port, "/events", line)
+            finally:
+                await server.stop()
+
+        status, doc = asyncio.run(scenario())
+        assert status == 409
+        assert gateway.health.rejected_events == 1
+
+    def test_get_on_events_is_405(self, profiles, services):
+        gateway = ServeGateway(
+            FleetController(profiles), services, 100.0, VirtualClock(),
+            measure_s=0.1,
+        )
+        asyncio.run(gateway.run(timeline_source(timeline())))
+
+        async def scenario():
+            server = StatusServer(gateway)
+            await server.start()
+            try:
+                return await fetch(server.port, "/events")
+            finally:
+                await server.stop()
+
+        status, _ = asyncio.run(scenario())
+        assert status == 405
+
+    def test_posted_events_are_journaled(
+        self, profiles, services, tmp_path
+    ):
+        from repro.serve import Journal, read_journal
+
+        async def scenario():
+            gateway, source, gate = self.live_session(
+                profiles, services, journal=Journal(tmp_path)
+            )
+            server = StatusServer(gateway)
+            await server.start()
+            run = asyncio.create_task(gateway.run(source()))
+            try:
+                event = RateEpoch(time_s=60.0, service_id="a", rate=3000.0)
+                await post(server.port, "/events", encode_event(event))
+            finally:
+                gate.set()
+                await run
+                await server.stop()
+            return event
+
+        event = asyncio.run(scenario())
+        assert event in read_journal(tmp_path).events
