@@ -56,6 +56,17 @@ Two suites, selected with ``--suite``:
   S15 chaos-week prefix with worker crashes at 10k services.  Results
   land in ``BENCH_resilience.json``.
 
+- ``obs``: the observability-overhead tier.  Each ops tier is replayed
+  twice — once with the observability plane on (the default
+  ``ObsHub``: metrics registry, trace spans, flight recorder) and once
+  with a disabled hub — best-of-``OBS_REPEATS`` walls each.  The two
+  reports must be **bit-identical** (recording is sidecar-only; the
+  obs plane may cost wall-clock but can never move a fingerprint) and
+  the overhead percentage is the committed evidence that the cost
+  stays marginal.  ``--obs-budget`` turns the overhead into a gate
+  (non-zero exit past the budget).  Results — including span counts
+  and the Prometheus scrape size — land in ``BENCH_obs.json``.
+
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf/harness.py
@@ -113,6 +124,7 @@ DEFAULT_OUTS = {
     "resilience": (
         pathlib.Path(__file__).parent / "BENCH_resilience.local.json"
     ),
+    "obs": pathlib.Path(__file__).parent / "BENCH_obs.local.json",
 }
 GEOMETRIES = ("mig", "mi300x", "mixed")
 
@@ -164,6 +176,13 @@ RESILIENCE_REPEATS = 3
 RESILIENCE_CRASHES = 3
 RESILIENCE_S15_HORIZON = 86_400.0
 RESILIENCE_S15_MEASURE = 1.0
+
+#: The obs suite: ops tiers replayed with the observability plane on
+#: vs off.  Best-of-N for the same reason as the resilience suite —
+#: replays are deterministic, so wall-clock spread is pure scheduler
+#: noise, and the overhead being measured is small by design.
+OBS_TIERS = (100, 1000)
+OBS_REPEATS = 3
 
 
 def _make_scheduler(geometry: str, fast_path: bool):
@@ -963,6 +982,84 @@ def run_resilience_s15(horizon_s=RESILIENCE_S15_HORIZON, workers=OPS_WORKERS):
     }
 
 
+def run_obs_sweep(tiers, repeats=OBS_REPEATS):
+    """Observability overhead: identical ops replays, obs on vs off.
+
+    Each tier's one-day bench run is replayed with the default
+    ``ObsHub`` (metrics + spans + flight recorder all recording) and
+    with a disabled hub, best-of-``repeats`` walls each.  The two
+    reports must be bit-identical — recording is sidecar-only, so the
+    obs plane may cost wall-clock but can never move a fingerprint; any
+    divergence is fatal.  The recorded overhead percentage is the
+    committed evidence that full observability stays marginal.
+    """
+    from repro.obs import ObsHub, render_prometheus
+    from repro.ops import FleetController, OpsIdentityError
+    from repro.ops.controller import assert_reports_identical
+    from repro.scenarios.ops import OPS_SEED, bench_ops_run
+
+    def replay(run, enabled):
+        hub = ObsHub(enabled=enabled)
+        ctrl = FleetController(fast_path=True, seed=OPS_SEED, obs=hub)
+        t0 = time.perf_counter()
+        report = ctrl.run(
+            run.services,
+            run.timeline,
+            run.horizon_s,
+            measure_s=OPS_MEASURE_S,
+            warmup_s=OPS_WARMUP_S,
+            sim_seed=OPS_SEED,
+        )
+        return ctrl, report, time.perf_counter() - t0
+
+    rows = []
+    for tier in tiers:
+        run = bench_ops_run(tier)
+        ctrl_on, on_report, on_wall = replay(run, enabled=True)
+        for _ in range(repeats - 1):
+            _, _, wall = replay(run, enabled=True)
+            on_wall = min(on_wall, wall)
+        _, off_report, off_wall = replay(run, enabled=False)
+        for _ in range(repeats - 1):
+            _, _, wall = replay(run, enabled=False)
+            off_wall = min(off_wall, wall)
+        try:
+            assert_reports_identical(on_report, off_report)
+        except OpsIdentityError as exc:
+            raise SystemExit(
+                f"FATAL: the observability plane changed the {tier}-service "
+                f"replay — recording leaked into fingerprinted state: {exc}"
+            )
+        overhead = (on_wall - off_wall) / off_wall
+        scrape = render_prometheus(ctrl_on.obs.registry)
+        row = {
+            "scenario": "OBS",
+            "tier": tier,
+            "geometry": "mig",
+            "run": run.name,
+            "measure_s": OPS_MEASURE_S,
+            "intervals": len(on_report.intervals),
+            "timing_repeats": repeats,
+            "enabled_wall_s": round(on_wall, 6),
+            "disabled_wall_s": round(off_wall, 6),
+            "overhead_pct": round(100 * overhead, 2),
+            "identical": True,
+            "spans": len(ctrl_on.obs.tracer.spans),
+            "metric_families": sum(
+                1 for _ in ctrl_on.obs.registry.collect()
+            ),
+            "scrape_bytes": len(scrape.encode("utf-8")),
+        }
+        rows.append(row)
+        print(
+            f"  OBS n={tier:<5} on {on_wall:7.2f} s  off {off_wall:7.2f} s  "
+            f"overhead {row['overhead_pct']:+5.2f}%  "
+            f"{row['spans']} spans  {row['metric_families']} families  "
+            f"scrape {row['scrape_bytes']} B  (reports identical)"
+        )
+    return rows
+
+
 def check_baseline(rows, baseline_path, max_regress, section, field):
     """Compare fast-path wall-clocks to the committed baseline (>Nx fails).
 
@@ -995,7 +1092,7 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("schedule", "simulate", "ops", "serve", "resilience"),
+        choices=("schedule", "simulate", "ops", "serve", "resilience", "obs"),
         default="schedule",
         help="schedule: time the scheduler's fleet sweep (S9/S10); "
         "simulate: serve high-rate fleets through the simulation fast "
@@ -1004,8 +1101,9 @@ def main(argv=None):
         "closed-loop FleetController; serve: virtual-clock gateway "
         "identity replays plus a live S16 session with reaction-latency "
         "percentiles; resilience: checkpoint/kill/resume bit-identity, "
-        "checkpoint overhead, and seeded worker-crash recovery "
-        "(default: %(default)s)",
+        "checkpoint overhead, and seeded worker-crash recovery; obs: "
+        "observability-plane overhead, obs-on vs obs-off replays with "
+        "bit-identity (default: %(default)s)",
     )
     parser.add_argument(
         "--tiers",
@@ -1088,6 +1186,11 @@ def main(argv=None):
         "(the CI smoke runs the tier rows only)",
     )
     parser.add_argument(
+        "--obs-budget", type=float, default=None,
+        help="obs suite: fail when any tier's observability overhead "
+        "exceeds this percentage (default: record only)",
+    )
+    parser.add_argument(
         "--s15-horizon", type=float, default=RESILIENCE_S15_HORIZON,
         help="resilience suite: chaos-week prefix replayed for the 10k "
         "worker-crash special, in scenario seconds (0 skips it; "
@@ -1101,13 +1204,17 @@ def main(argv=None):
         "ops": OPS_TIERS,
         "serve": (),
         "resilience": RESILIENCE_TIERS,
+        "obs": OBS_TIERS,
     }[args.suite]
     tiers = (
         [int(t) for t in args.tiers.split(",") if t]
         if args.tiers
         else list(default_tiers)
     )
-    if args.suite in ("ops", "serve", "resilience") and args.geometries is not None:
+    if (
+        args.suite in ("ops", "serve", "resilience", "obs")
+        and args.geometries is not None
+    ):
         # The FleetController runs one geometry per fleet and the ops
         # tiers are MIG-only; silently ignoring the flag would let a
         # user believe they benchmarked MI300X ops behavior.
@@ -1195,6 +1302,16 @@ def main(argv=None):
             )
         )
         section, field = "resilience", "base_wall_s"
+    elif args.suite == "obs":
+        print(
+            f"obs sweep: tiers={tiers} repeats={OBS_REPEATS} "
+            f"(identical ops replays with the observability plane "
+            f"enabled vs disabled; sidecar-only recording must not move "
+            f"a fingerprint)"
+        )
+        rows = run_obs_sweep(tiers)
+        doc["obs"] = rows
+        section, field = "obs", "enabled_wall_s"
     else:
         print(
             f"simulate sweep: tiers={tiers} geometries={geometries} "
@@ -1217,6 +1334,18 @@ def main(argv=None):
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {out}")
+
+    if args.suite == "obs" and args.obs_budget is not None:
+        over = [r for r in rows if r["overhead_pct"] > args.obs_budget]
+        if over:
+            tiers_over = ", ".join(
+                f"n={r['tier']} {r['overhead_pct']:+.2f}%" for r in over
+            )
+            print(
+                f"FAIL: observability overhead exceeds the "
+                f"{args.obs_budget}% budget ({tiers_over})"
+            )
+            return 1
 
     if args.baseline is not None:
         regressions = check_baseline(

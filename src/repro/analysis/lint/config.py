@@ -18,10 +18,13 @@ from typing import Sequence
 
 #: Files where wall-clock reads (D002) are legitimate: the wall-clock
 #: assertion gate itself, the scheduling-delay stopwatch (fig9's measured
-#: quantity), the perf harness, and CLI end-to-end timing.
+#: quantity), the obs plane's single wall tap (every other obs module
+#: takes durations as caller-observed values), the perf harness, and CLI
+#: end-to-end timing.
 DEFAULT_WALLCLOCK_ALLOW: tuple[str, ...] = (
     "src/repro/experiments/wallclock.py",
     "src/repro/metrics/delay.py",
+    "src/repro/obs/wallclock.py",
     "src/repro/cli.py",
     "benchmarks/perf/*",
 )
@@ -43,6 +46,7 @@ DEFAULT_IDENTITY_MODULES: tuple[str, ...] = (
     "src/repro/parallel.py",
     "src/repro/serve/*",
     "src/repro/resilience/*",
+    "src/repro/obs/*",
 )
 
 #: Default location of the grandfathered-findings baseline.

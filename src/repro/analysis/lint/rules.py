@@ -36,6 +36,13 @@ D007  Swallowed exceptions: a bare ``except:`` or overbroad
       silently absorbed error is how a control plane diverges from its
       replay without any fingerprint noticing; degraded paths must
       either propagate or be *counted* into a health surface.
+D008  Bare dict counters: ``+=`` on a subscript of a ``*counter*`` /
+      ``*metric*``-named mapping in an identity-checked module.
+      Ad-hoc metric stores are exactly how recording leaks into
+      fingerprinted state (and how three snapshot formats drift
+      apart); recording must go through the obs facade
+      (:class:`repro.obs.ObsHub` counters, or a plain-attribute stats
+      object attached via ``registry.attach``).
 ====  ==============================================================
 
 The checks are deliberately syntactic (no type inference): they flag
@@ -48,6 +55,7 @@ the dynamic identity checks remain the backstop for aliased values.
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -62,6 +70,7 @@ RULES: dict[str, str] = {
     "D005": "lambda/local function passed to a process-pool submission",
     "D006": "fast-path switch accepted but never used (no reference path)",
     "D007": "broad exception handler that neither re-raises nor counts",
+    "D008": "bare dict counter mutation outside the obs facade",
     "E001": "file could not be parsed",
 }
 
@@ -124,6 +133,10 @@ _FASTPATH_PARAMS = frozenset({"fast_path", "indexed", "workers"})
 #: these absorbs *any* failure, including the ones the identity
 #: contract needs to surface.
 _BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+#: Subscript base names that look like hand-rolled metric stores (D008):
+#: incrementing into one of these bypasses the obs facade.
+_METRIC_STORE_RE = re.compile(r"counter|metric", re.IGNORECASE)
 
 
 @dataclass
@@ -450,6 +463,29 @@ class DeterminismVisitor(ast.NodeVisitor):
 
     # SetComp sources are order-insensitive (the result is a set), so no
     # comprehension check there; consumption of the set itself is flagged.
+
+    # ------------------------------------------------------------------ #
+    # D008 (bare dict counters outside the obs facade)
+    # ------------------------------------------------------------------ #
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.identity_module and isinstance(node.target, ast.Subscript):
+            base = node.target.value
+            name: Optional[str] = None
+            if isinstance(base, ast.Attribute):
+                name = base.attr
+            elif isinstance(base, ast.Name):
+                name = base.id
+            if name is not None and _METRIC_STORE_RE.search(name):
+                self._add(
+                    node, "D008",
+                    f"bare dict counter '{name}[...]' in an "
+                    "identity-checked module: record through the obs "
+                    "facade (an ObsHub counter, or a plain-attribute "
+                    "stats object attached via registry.attach) so "
+                    "recording never touches fingerprinted state",
+                )
+        self.generic_visit(node)
 
     # ------------------------------------------------------------------ #
     # D007 (swallowed exceptions)

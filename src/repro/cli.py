@@ -460,6 +460,11 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     )
     from repro.scenarios.ops import OPS_SEED, ops_run
 
+    if (args.trace or args.trace_jsonl) and (args.live or args.verify):
+        print("error: --trace/--trace-jsonl export the offline replay's "
+              "span tree; they cannot be combined with --live or --verify",
+              file=sys.stderr)
+        return 2
     if args.live:
         if args.verify or args.engine != "fast":
             print("error: --live is a serve-gateway session; it cannot be "
@@ -599,6 +604,14 @@ def _cmd_ops(args: argparse.Namespace) -> int:
             f"(worst: {worst_sid} in "
             f"{100 * attainment[worst_sid]:.0f}% of its intervals)"
         )
+    if args.trace:
+        ctrl.obs.tracer.write_chrome(args.trace)
+        print(f"trace: {args.trace} ({len(ctrl.obs.tracer.spans)} spans, "
+              "Chrome trace_event JSON)")
+    if args.trace_jsonl:
+        ctrl.obs.tracer.write_jsonl(args.trace_jsonl)
+        print(f"trace: {args.trace_jsonl} "
+              f"({len(ctrl.obs.tracer.spans)} spans, JSONL)")
     if args.resume:
         print(f"resumed: {args.resume} (intervals before the checkpoint "
               "cursor restored verbatim)")
@@ -727,6 +740,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the per-interval serving measurement (and replan "
         "triplet scoring) across N parallel workers; results are "
         "bit-identical to the serial path (default: 0 = serial)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export the run's decision-path span tree as Chrome "
+        "trace_event JSON (loadable in Perfetto / chrome://tracing); "
+        "byte-identical across replays of the same scenario",
+    )
+    p.add_argument(
+        "--trace-jsonl", default=None, dest="trace_jsonl", metavar="FILE",
+        help="export the span tree as JSON Lines, one span per line "
+        "(same determinism contract as --trace)",
     )
     _add_resilience_flags(p)
     p.add_argument(

@@ -1,0 +1,52 @@
+"""Deterministic observability plane: metrics, traces, flight recorder.
+
+The control plane's introspection layer, built so that *recording
+never perturbs the identity contract*:
+
+- :mod:`repro.obs.registry` — counters, gauges, histograms with fixed
+  bucket edges, plus attachment of existing stats objects
+  (``GatewayHealth``, ``ShardHealth``, ``JournalStats``) behind their
+  plain-attribute APIs;
+- :mod:`repro.obs.trace` — structured spans over the per-interval
+  decision path, exported as JSONL and Chrome ``trace_event`` JSON
+  (``parvagpu ops --trace out.json``, Perfetto-loadable), span trees
+  byte-identical across replays under ``VirtualClock``;
+- :mod:`repro.obs.flight` — a bounded ring of recent spans and
+  decisions, dumped automatically on ``CheckpointError``, safe-mode
+  entry, or shard-pool degradation;
+- :mod:`repro.obs.prometheus` — the ``GET /metrics`` text exposition;
+- :mod:`repro.obs.wallclock` — the package's only wall-clock read
+  (D002-allowlisted); everywhere else time is a scenario instant or a
+  caller-observed duration.
+
+The two-track clock rule, in one line: *scenario instants are
+identity, wall durations are sidecars* — see ``docs/observability.md``.
+"""
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.hub import ObsHub
+from repro.obs.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    fields_doc,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "ObsHub",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "fields_doc",
+    "Tracer",
+    "Span",
+    "FlightRecorder",
+    "render_prometheus",
+    "PROMETHEUS_CONTENT_TYPE",
+]

@@ -1,0 +1,117 @@
+"""The :class:`ObsHub`: one handle over registry + tracer + flight ring.
+
+Every controller owns a hub (the gateway shares its controller's); all
+metric and span recording in identity-checked modules goes through
+this facade — repro-lint rule D008 rejects bare dict counters there,
+and the hub guarantees the two-track clock discipline: scenario
+instants are passed in by callers, wall durations exist only when the
+hub was built with :func:`~repro.obs.wallclock.wall_seconds` (or a
+clock's ``work_seconds``, which a ``VirtualClock`` pins to zero).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from contextlib import AbstractContextManager
+from typing import Callable, Union
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+_PathLike = Union[str, pathlib.Path]
+
+
+class ObsHub:
+    """The per-controller observability plane (the ``obs`` facade)."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        wall: Callable[[], float] | None = None,
+        flight_capacity: int = 256,
+        flight_path: _PathLike | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.flight = FlightRecorder(flight_capacity, enabled=enabled)
+        self.tracer = Tracer(
+            wall=wall, sink=self.flight.add_span, enabled=enabled
+        )
+        #: where automatic flight dumps land (``None`` = in-memory only)
+        self.flight_path = (
+            None if flight_path is None else pathlib.Path(flight_path)
+        )
+        self._wall = wall
+
+    @classmethod
+    def live(cls, **kwargs: object) -> "ObsHub":
+        """A hub with the wall-clock sidecar track enabled."""
+        from repro.obs.wallclock import wall_seconds
+
+        return cls(wall=wall_seconds, **kwargs)  # type: ignore[arg-type]
+
+    # -- two-track clock -------------------------------------------------
+
+    def wall(self) -> float:
+        """The sidecar track: wall seconds, or 0.0 when deterministic."""
+        return self._wall() if self._wall is not None else 0.0
+
+    def set_wall(self, wall: Callable[[], float] | None) -> None:
+        """Rebind the sidecar track (a gateway binds ``work_seconds``)."""
+        self._wall = wall
+        self.tracer._wall = wall
+
+    # -- facade shortcuts ------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self.registry.counter(name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self.registry.gauge(name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self.registry.histogram(name, help, labelnames, buckets)
+
+    def span(
+        self, name: str, *, t_s: float | None = None, cat: str = "ops",
+        **args: object,
+    ) -> AbstractContextManager[Span]:
+        return self.tracer.span(name, t_s=t_s, cat=cat, **args)
+
+    def note(
+        self, kind: str, *, t_s: float = 0.0, **fields: object
+    ) -> None:
+        self.flight.note(kind, t_s=t_s, **fields)
+
+    def dump_flight(
+        self, reason: str, path: _PathLike | None = None
+    ) -> dict[str, object] | None:
+        """Dump the flight ring (to ``flight_path`` unless overridden)."""
+        doc = self.flight.dump(
+            reason, self.flight_path if path is None else path
+        )
+        if doc is not None:
+            self.counter(
+                "obs_flight_dumps_total",
+                "automatic flight-recorder dumps",
+                ("reason",),
+            ).inc(reason=reason)
+        return doc

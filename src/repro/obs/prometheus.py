@@ -1,0 +1,86 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+Pure rendering: :func:`render_prometheus` pulls a byte-deterministic
+snapshot out of a :class:`~repro.obs.registry.MetricsRegistry` —
+families in sorted name order, series in sorted label order, histogram
+buckets cumulative with ``+Inf``/``_sum``/``_count`` — so a scrape of
+two identical replays is byte-identical too.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+#: The content type a ``/metrics`` response must carry.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(
+    names: tuple[str, ...], values: tuple[str, ...], extra: str = ""
+) -> str:
+    pairs = [
+        f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full exposition, one ``# HELP``/``# TYPE`` block per family."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key in metric.series_keys():
+                labels = dict(zip(metric.labelnames, key))
+                cumulative, total, count = metric.snapshot(**labels)
+                for edge, n in cumulative:
+                    le = 'le="' + _format_value(edge) + '"'
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_labels(metric.labelnames, key, le)}"
+                        f" {n}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum"
+                    f"{_labels(metric.labelnames, key)}"
+                    f" {_format_value(total)}"
+                )
+                lines.append(
+                    f"{metric.name}_count"
+                    f"{_labels(metric.labelnames, key)}"
+                    f" {_format_value(count)}"
+                )
+        else:
+            for key, value in metric.samples():
+                lines.append(
+                    f"{metric.name}{_labels(metric.labelnames, key)}"
+                    f" {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,24 @@
+"""The observability plane's single wall-clock tap.
+
+Everything in :mod:`repro.obs` is deterministic by default: spans and
+metrics carry scenario instants, and wall-clock *durations* appear only
+as sidecar fields that are pinned to ``0.0`` unless a hub was built
+with this module's :func:`wall_seconds`.  Keeping the one real clock
+read here makes ``repro.obs`` auditable the same way
+:mod:`repro.serve.realclock` is: this file is on the repro-lint D002
+allowlist; nothing else in the package may read the wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_seconds() -> float:
+    """Monotonic wall-clock seconds, for sidecar durations only.
+
+    Values from here must never reach fingerprinted state — they are
+    the "second track" of the two-track clock API (see
+    ``docs/observability.md``).
+    """
+    return time.perf_counter()

@@ -73,6 +73,7 @@ from repro.ops.events import (
     SpotPreemptionWave,
     timeline_key,
 )
+from repro.obs import ObsHub
 from repro.ops.report import FailureRecord, IntervalRecord, OpsReport
 from repro.parallel import FaultInjector, ShardHealth
 from repro.profiler.table import ProfileTable
@@ -143,6 +144,7 @@ class FleetController:
         full_replan_fraction: float = 0.5,
         workers: int = 0,
         fault_injector: Optional["FaultInjector"] = None,
+        obs: Optional[ObsHub] = None,
     ) -> None:
         geo = get_geometry(geometry)
         if profiles is None:
@@ -190,6 +192,45 @@ class FleetController:
         #: the active begin()/step()/finish() cycle, if any
         self._run: Optional[_RunState] = None
         self._pending_seq = 0
+        #: the observability hub: metrics + spans + flight recorder.
+        #: Recording is sidecar-only — nothing the hub stores ever
+        #: reaches fingerprinted state, so replays stay bit-identical
+        #: with observability enabled (the default).
+        self.obs = obs if obs is not None else ObsHub()
+        self._m_intervals = self.obs.counter(
+            "ops_intervals_total", "intervals the controller closed"
+        )
+        self._m_events = self.obs.counter(
+            "ops_events_applied_total",
+            "timeline events applied, by event kind",
+            ("kind",),
+        )
+        self._m_replans = self.obs.counter(
+            "ops_replans_total",
+            "interval re-plans taken, by path (full vs incremental)",
+            ("path",),
+        )
+        self._m_failures = self.obs.counter(
+            "ops_failures_total", "GPU failures/preemptions handled"
+        )
+        self._m_services = self.obs.gauge(
+            "ops_fleet_services", "services currently deployed"
+        )
+        self._m_gpus = self.obs.gauge(
+            "ops_fleet_gpus", "GPUs in the deployed placement"
+        )
+        self._m_spares = self.obs.gauge(
+            "ops_spare_gpus", "spare GPUs held back for failover"
+        )
+        self._m_ckpt_writes = self.obs.counter(
+            "ops_checkpoint_writes_total", "checkpoints flushed to disk"
+        )
+        self._m_stage_wall = self.obs.histogram(
+            "ops_stage_wall_seconds",
+            "wall-clock sidecar per decision-path stage (0 when "
+            "deterministic)",
+            ("stage",),
+        )
         self._reset_deployment()
 
     def _reset_deployment(self) -> None:
@@ -275,8 +316,10 @@ class FleetController:
             # only perturbs a handful of services, so most segments
             # resolve from cache and only the changed ones are shipped.
             self._shard_ctx = ShardContext(
-                self.workers, fault_injector=self.fault_injector
+                self.workers, fault_injector=self.fault_injector,
+                obs=self.obs,
             )
+            self.obs.registry.attach("shard", self._shard_ctx.pool.health)
         self._run = _RunState(
             work=work,
             by_id=by_id,
@@ -337,20 +380,55 @@ class FleetController:
         if run.report.intervals:
             prev = run.report.intervals[-1]
             prev.duration_s = t - prev.time_s
-        record = self._apply_batch(
-            t, batch, run.work, run.by_id, run.report, run.pending
+        failures_before = len(run.report.failures)
+        with self.obs.span(
+            "interval", t_s=t, cat="interval", step=run.steps,
+            events=len(batch),
+        ) as interval_span:
+            with self.obs.span("apply", t_s=t, cat="interval") as sp:
+                record = self._apply_batch(
+                    t, batch, run.work, run.by_id, run.report, run.pending
+                )
+                sp.args["path"] = record.path
+            self._m_stage_wall.observe(sp.wall_s, stage="apply")
+            if run.check:
+                with self.obs.span("check", t_s=t, cat="interval") as sp:
+                    self._check_state(run.work)
+                self._m_stage_wall.observe(sp.wall_s, stage="check")
+            placement = self.manager.current
+            with self.obs.span("fingerprint", t_s=t, cat="interval") as sp:
+                record.fingerprint = _record_digest(placement.fingerprint())
+            self._m_stage_wall.observe(sp.wall_s, stage="fingerprint")
+            if run.measure_s > 0 and run.steps % run.measure_every == 0:
+                with self.obs.span(
+                    "measure", t_s=t, cat="interval",
+                    services=len(run.work), workers=self.workers,
+                ) as sp:
+                    self._measure(
+                        record, placement, run.work, run.measure_s,
+                        run.warmup_s, run.sim_seed, run.sim_fast,
+                    )
+                self._m_stage_wall.observe(sp.wall_s, stage="measure")
+            with self.obs.span("report", t_s=t, cat="interval") as sp:
+                record.duration_s = run.horizon_s - t
+                run.report.intervals.append(record)
+            interval_span.args["path"] = record.path
+        self._m_stage_wall.observe(interval_span.wall_s, stage="interval")
+        self._m_intervals.inc()
+        self._m_replans.inc(path=record.path)
+        for kind in sorted(record.events):
+            self._m_events.inc(record.events[kind], kind=kind)
+        new_failures = len(run.report.failures) - failures_before
+        if new_failures:
+            self._m_failures.inc(new_failures)
+        self._m_services.set(len(run.work))
+        self._m_gpus.set(record.num_gpus)
+        self._m_spares.set(record.spare_gpus)
+        self.obs.note(
+            "decision", t_s=t, step=run.steps, path=record.path,
+            events=dict(record.events), skipped=record.skipped,
+            failures=new_failures,
         )
-        if run.check:
-            self._check_state(run.work)
-        placement = self.manager.current
-        record.fingerprint = _record_digest(placement.fingerprint())
-        if run.measure_s > 0 and run.steps % run.measure_every == 0:
-            self._measure(
-                record, placement, run.work, run.measure_s, run.warmup_s,
-                run.sim_seed, run.sim_fast,
-            )
-        record.duration_s = run.horizon_s - t
-        run.report.intervals.append(record)
         run.last_t = t
         run.steps += 1
         return record
@@ -458,6 +536,10 @@ class FleetController:
             "config": self._config_doc(),
             "cursor": cursor,
             "timeline_sha": timeline_sha,
+            # post-mortem breadcrumb only: where the last automatic
+            # flight-recorder dump landed (None almost always); restore
+            # ignores it, so it never influences a resumed run
+            "flight_dump": self.obs.flight.last_dump_path,
             "pending_seq": self._pending_seq,
             "eid_to_gpu": sorted(self._eid_to_gpu.items()),
             "run": {
@@ -557,8 +639,10 @@ class FleetController:
             from repro.sim.shard import ShardContext
 
             self._shard_ctx = ShardContext(
-                self.workers, fault_injector=self.fault_injector
+                self.workers, fault_injector=self.fault_injector,
+                obs=self.obs,
             )
+            self.obs.registry.attach("shard", self._shard_ctx.pool.health)
         self._run = _RunState(
             work=work,
             by_id=by_id,
@@ -625,21 +709,27 @@ class FleetController:
         )
         digest = timeline_digest(static)
         if resume is not None:
-            state = resolve_resume(resume)
-            self._check_resume_args(
-                state,
-                horizon_s=horizon_s,
-                measure_s=measure_s,
-                warmup_s=warmup_s,
-                sim_seed=sim_seed,
-                sim_fast=(
-                    self.fast_path if sim_fast_path is None else sim_fast_path
-                ),
-                check=check,
-                measure_every=measure_every,
-                timeline_sha=digest,
-            )
-            report = self.restore(state)
+            try:
+                state = resolve_resume(resume)
+                self._check_resume_args(
+                    state,
+                    horizon_s=horizon_s,
+                    measure_s=measure_s,
+                    warmup_s=warmup_s,
+                    sim_seed=sim_seed,
+                    sim_fast=(
+                        self.fast_path
+                        if sim_fast_path is None
+                        else sim_fast_path
+                    ),
+                    check=check,
+                    measure_every=measure_every,
+                    timeline_sha=digest,
+                )
+                report = self.restore(state)
+            except CheckpointError:
+                self.obs.dump_flight("checkpoint-error")
+                raise
             si = int(state["cursor"])
             t = self._next_instant(static, si)
         else:
@@ -656,6 +746,19 @@ class FleetController:
             si = 0
             # the bootstrap interval exists even on an empty timeline
             t = 0.0
+        def flush_checkpoint() -> None:
+            assert checkpoint_path is not None
+            try:
+                write_checkpoint(
+                    checkpoint_path,
+                    self.checkpoint(cursor=si, timeline_sha=digest),
+                )
+            except (CheckpointError, OSError):
+                # Post-mortem evidence first, then the crash proceeds.
+                self.obs.dump_flight("checkpoint-error")
+                raise
+            self._m_ckpt_writes.inc()
+
         try:
             while t is not None:
                 batch: list[OpsEvent] = []
@@ -670,16 +773,10 @@ class FleetController:
                     and checkpoint_every
                     and steps % checkpoint_every == 0
                 ):
-                    write_checkpoint(
-                        checkpoint_path,
-                        self.checkpoint(cursor=si, timeline_sha=digest),
-                    )
+                    flush_checkpoint()
                 if max_steps is not None and steps >= max_steps:
                     if checkpoint_path is not None:
-                        write_checkpoint(
-                            checkpoint_path,
-                            self.checkpoint(cursor=si, timeline_sha=digest),
-                        )
+                        flush_checkpoint()
                     break
                 t = self._next_instant(static, si)
         finally:

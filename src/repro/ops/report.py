@@ -41,9 +41,13 @@ class IntervalRecord:
     #: per-service measured compliance (kept in memory for attainment;
     #: not serialized per interval — to_doc() emits aggregates only)
     per_service_compliance: Mapping[str, float] = field(default_factory=dict)
+    #: wall-clock sidecars (live gateway sessions only): never part of
+    #: the fingerprint, surfaced in to_doc() only when present, so
+    #: replayed documents are byte-identical to offline ones
+    obs_sidecar: dict[str, float] = field(default_factory=dict)
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "time_s": round(self.time_s, 3),
             "duration_s": round(self.duration_s, 3),
             "path": self.path,
@@ -66,6 +70,11 @@ class IntervalRecord:
                 else round(self.worst_service_compliance, 6)
             ),
         }
+        if self.obs_sidecar:
+            doc["obs"] = {
+                k: round(v, 6) for k, v in sorted(self.obs_sidecar.items())
+            }
+        return doc
 
 
 @dataclass

@@ -56,12 +56,15 @@ from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
+    ClassVar,
     Iterable,
     Mapping,
     Optional,
     Protocol,
     Sequence,
 )
+
+from repro.obs import ObsHub
 
 
 class FaultInjector(Protocol):
@@ -103,18 +106,22 @@ class ShardHealth:
     #: current (possibly degraded) worker count
     active_workers: int = 0
 
+    #: the one spec driving both the ``/health`` document and the
+    #: ``shard_*`` metric families (see repro.obs.registry.attach)
+    OBS_FIELDS: ClassVar[dict[str, str]] = {
+        "batches": "counter",
+        "worker_crashes": "counter",
+        "timeouts": "counter",
+        "pool_rebuilds": "counter",
+        "retries": "counter",
+        "degradations": "counter",
+        "inline_batches": "counter",
+        "cancelled_siblings": "counter",
+        "active_workers": "gauge",
+    }
+
     def to_doc(self) -> dict[str, int]:
-        return {
-            "batches": self.batches,
-            "worker_crashes": self.worker_crashes,
-            "timeouts": self.timeouts,
-            "pool_rebuilds": self.pool_rebuilds,
-            "retries": self.retries,
-            "degradations": self.degradations,
-            "inline_batches": self.inline_batches,
-            "cancelled_siblings": self.cancelled_siblings,
-            "active_workers": self.active_workers,
-        }
+        return {name: int(getattr(self, name)) for name in self.OBS_FIELDS}
 
 
 class _PoolFailure(Exception):
@@ -181,6 +188,7 @@ class ShardPool:
         backoff_s: float = 0.05,
         job_timeout_s: Optional[float] = None,
         fault_injector: Optional[FaultInjector] = None,
+        obs: Optional[ObsHub] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -195,6 +203,18 @@ class ShardPool:
         self.backoff_s = backoff_s
         self.job_timeout_s = job_timeout_s
         self.fault_injector = fault_injector
+        #: the obs facade (a disabled hub when the pool runs standalone)
+        self.obs = obs if obs is not None else ObsHub(enabled=False)
+        self._m_batch_wall = self.obs.histogram(
+            "shard_batch_wall_seconds",
+            "wall-clock sidecar per dispatched shard batch",
+        )
+        self._m_shard_wall = self.obs.histogram(
+            "shard_job_wall_seconds",
+            "wall-clock sidecar per shard: completion offset from batch "
+            "start (pooled) or job duration (inline)",
+            ("shard",),
+        )
         self.health = ShardHealth(active_workers=workers)
         #: current (possibly degraded) width; never recovers upward —
         #: a host that killed workers twice will likely do it again
@@ -223,14 +243,16 @@ class ShardPool:
         batch = self._batches
         self._batches += 1
         self.health.batches += 1
+        t0 = self.obs.wall()
         attempt = 0
         while True:
             width = self._active
             self.health.active_workers = width
-            if width == 1:
-                return self._run_inline(fn, jobs, batch, attempt)
             try:
-                return self._run_pooled(fn, jobs, batch, attempt)
+                if width == 1:
+                    out = self._run_inline(fn, jobs, batch, attempt)
+                else:
+                    out = self._run_pooled(fn, jobs, batch, attempt, t0)
             except _PoolFailure:
                 attempt += 1
                 self.health.retries += 1
@@ -238,8 +260,18 @@ class ShardPool:
                     # This width keeps dying: degrade and start over.
                     self._active = max(1, width // 2)
                     self.health.degradations += 1
+                    self.obs.note(
+                        "shard-degradation",
+                        batch=batch,
+                        width=width,
+                        new_width=self._active,
+                    )
+                    self.obs.dump_flight("shard-degradation")
                     attempt = 0
                 time.sleep(self.backoff_s * (2 ** min(attempt, 6)))
+            else:
+                self._m_batch_wall.observe(self.obs.wall() - t0)
+                return out
 
     def _run_inline(
         self,
@@ -257,7 +289,11 @@ class ShardPool:
                 # in_worker=False: process-kill faults must not fire in
                 # the parent; delay faults still apply.
                 injector.before(batch, attempt, index, in_worker=False)
+            t0 = self.obs.wall()
             out.append(fn(job))
+            self._m_shard_wall.observe(
+                self.obs.wall() - t0, shard=index
+            )
         return out
 
     def _run_pooled(
@@ -266,6 +302,7 @@ class ShardPool:
         jobs: Sequence[Any],
         batch: int,
         attempt: int,
+        t0: float,
     ) -> list[Any]:
         executor = self._ensure_executor()
         injector = self.fault_injector
@@ -285,18 +322,25 @@ class ShardPool:
             # were already gathered, and submit() is the first call to
             # see the wreckage.
             self.health.worker_crashes += 1
+            self.obs.note("worker-crash", batch=batch, attempt=attempt)
             self._dispose()
             raise _PoolFailure("pool broken at submit") from exc
         out: list[Any] = []
-        for f in futures:
+        for index, f in enumerate(futures):
             try:
                 out.append(f.result(timeout=self.job_timeout_s))
             except BrokenExecutor as exc:
                 self.health.worker_crashes += 1
+                self.obs.note(
+                    "worker-crash", batch=batch, attempt=attempt, shard=index
+                )
                 self._dispose()
                 raise _PoolFailure("worker died") from exc
             except (TimeoutError, _FuturesTimeout) as exc:
                 self.health.timeouts += 1
+                self.obs.note(
+                    "shard-timeout", batch=batch, attempt=attempt, shard=index
+                )
                 self._dispose(kill=True)
                 raise _PoolFailure("job timed out") from exc
             except BaseException:
@@ -305,6 +349,14 @@ class ShardPool:
                 # positional error.
                 self.health.cancelled_siblings += _cancel_all(futures)
                 raise
+            else:
+                # Completion offset from batch start: results gather
+                # positionally, so shard k's offset includes any wait
+                # for shards 0..k-1 — a scatter/straggler profile, not
+                # a per-job duration.
+                self._m_shard_wall.observe(
+                    self.obs.wall() - t0, shard=index
+                )
         return out
 
     def _dispose(self, *, kill: bool = False) -> None:

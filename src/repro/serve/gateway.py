@@ -40,9 +40,10 @@ import asyncio
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import AsyncIterator, Iterable, Optional, Sequence
+from typing import AsyncIterator, ClassVar, Iterable, Optional, Sequence
 
 from repro.core.service import Service
+from repro.obs import fields_doc
 from repro.ops.checkpoint import write_checkpoint
 from repro.ops.controller import FleetController, assert_reports_identical
 from repro.ops.events import (
@@ -111,6 +112,28 @@ class GatewayHealth:
     #: from the batch's earliest enqueue to step completion (live only)
     reactions_s: list[float] = field(default_factory=list)
 
+    #: the one spec driving both the ``/health`` document and the
+    #: ``gateway_*`` metric families (see repro.obs.registry.attach)
+    OBS_FIELDS: ClassVar[dict[str, str]] = {
+        "steps": "counter",
+        "events_applied": "counter",
+        "deferrals": "counter",
+        "deferred_depth": "gauge",
+        "max_deferred_depth": "gauge",
+        "forced_flushes": "counter",
+        "late_steps": "counter",
+        "dropped_beyond_horizon": "counter",
+        "source_retries": "counter",
+        "source_failures": "counter",
+        "malformed_lines": "counter",
+        "injected_events": "counter",
+        "rejected_events": "counter",
+        "http_errors": "counter",
+        "checkpoint_writes": "counter",
+        "checkpoint_errors": "counter",
+        "safe_mode": "gauge",
+    }
+
     def reaction_percentiles(self) -> dict[str, float]:
         return {
             "p50_ms": reaction_percentile(self.reactions_s, 0.50) * 1e3,
@@ -119,25 +142,7 @@ class GatewayHealth:
         }
 
     def to_doc(self) -> dict[str, object]:
-        doc: dict[str, object] = {
-            "steps": self.steps,
-            "events_applied": self.events_applied,
-            "deferrals": self.deferrals,
-            "deferred_depth": self.deferred_depth,
-            "max_deferred_depth": self.max_deferred_depth,
-            "forced_flushes": self.forced_flushes,
-            "late_steps": self.late_steps,
-            "dropped_beyond_horizon": self.dropped_beyond_horizon,
-            "source_retries": self.source_retries,
-            "source_failures": self.source_failures,
-            "malformed_lines": self.malformed_lines,
-            "injected_events": self.injected_events,
-            "rejected_events": self.rejected_events,
-            "http_errors": self.http_errors,
-            "checkpoint_writes": self.checkpoint_writes,
-            "checkpoint_errors": self.checkpoint_errors,
-            "safe_mode": self.safe_mode,
-        }
+        doc = fields_doc(self)
         if self.reactions_s:
             pct = self.reaction_percentiles()
             doc["reaction_p50_ms"] = round(pct["p50_ms"], 3)
@@ -201,6 +206,20 @@ class ServeGateway:
         self.checkpoint_every = checkpoint_every
         self.intake = IntakeQueue()
         self.health = GatewayHealth()
+        # The gateway shares its controller's hub and binds the wall
+        # sidecar track to the clock's work stopwatch: a VirtualClock
+        # pins it to 0.0, so replayed traces/metrics stay byte-identical
+        # while live sessions get true wall sidecars for free.
+        self.obs = controller.obs
+        self.obs.set_wall(self.clock.work_seconds)
+        self.obs.registry.attach("gateway", self.health)
+        if journal is not None:
+            self.obs.registry.attach("journal", journal.stats)
+        self._m_reaction = self.obs.histogram(
+            "gateway_reaction_seconds",
+            "wall sidecar: batch earliest-enqueue to step completion "
+            "(live sessions only)",
+        )
         self.report: Optional[OpsReport] = None
         self._deferred: list[IntakeItem] = []
         self._streak = 0  # consecutive deferrals
@@ -262,6 +281,8 @@ class ServeGateway:
             self.health.source_failures += 1
             self.health.safe_mode = True
             self._source_error = f"{type(exc).__name__}: {exc}"
+            self.obs.note("safe-mode", error=self._source_error)
+            self.obs.dump_flight("safe-mode")
         finally:
             self.intake.close()
 
@@ -426,7 +447,11 @@ class ServeGateway:
         if self._last_t is not None and t < self._last_t:
             t = self._last_t
             self.health.late_steps += 1
-        self.controller.step(t, events)
+        with self.obs.span(
+            "intake", t_s=t, cat="interval",
+            events=len(events), batch=len(batch_items),
+        ):
+            record = self.controller.step(t, events)
         finished = self.clock.work_seconds()
         self._last_t = t
         self._deferred = []
@@ -436,7 +461,15 @@ class ServeGateway:
         self.health.deferred_depth = 0
         if batch_items and not self.clock.is_virtual:
             earliest = min(it.enqueued_at for it in batch_items)
-            self.health.reactions_s.append(finished - earliest)
+            reaction = finished - earliest
+            self.health.reactions_s.append(reaction)
+            self._m_reaction.observe(reaction)
+            # Wall sidecars on the record, never in fingerprinted state:
+            # a live OpsReport can show true reaction latency while the
+            # identity-checked document stays untouched (PR-7 follow-up).
+            record.obs_sidecar["wall_arrival_s"] = earliest
+            record.obs_sidecar["wall_finished_s"] = finished
+            record.obs_sidecar["reaction_s"] = reaction
         if self.snapshot_every and self.health.steps % self.snapshot_every == 0:
             self._refresh_snapshot()
         if (

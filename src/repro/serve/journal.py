@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, TYPE_CHECKING, Any, Optional
+from typing import IO, TYPE_CHECKING, Any, ClassVar, Optional
 
 from repro.ops.events import OpsEvent
 from repro.serve.sources import decode_event, encode_event
@@ -71,13 +71,17 @@ class JournalStats:
     rotations: int = 0
     segments: int = 0
 
+    #: the one spec driving both the ``/health`` document and the
+    #: ``journal_*`` metric families (see repro.obs.registry.attach)
+    OBS_FIELDS: ClassVar[dict[str, str]] = {
+        "appends": "counter",
+        "fsyncs": "counter",
+        "rotations": "counter",
+        "segments": "gauge",
+    }
+
     def to_doc(self) -> dict[str, int]:
-        return {
-            "appends": self.appends,
-            "fsyncs": self.fsyncs,
-            "rotations": self.rotations,
-            "segments": self.segments,
-        }
+        return {name: int(getattr(self, name)) for name in self.OBS_FIELDS}
 
 
 class Journal:

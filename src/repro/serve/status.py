@@ -12,6 +12,10 @@ reads the wall clock):
   (:meth:`~repro.serve.gateway.ServeGateway.health_doc`): gateway
   counters plus shard-pool recovery health plus journal stats, rebuilt
   per request;
+- ``GET /metrics`` — the Prometheus text exposition (format 0.0.4) of
+  the session's :class:`~repro.obs.registry.MetricsRegistry`: every
+  controller family plus the attached gateway/shard/journal counters,
+  rendered byte-deterministically per scrape;
 - ``POST /events`` — submit events in the canonical wire format (one
   JSON object per line, as :func:`~repro.serve.sources.encode_event`
   emits).  Accepted events are journaled and enqueued exactly like
@@ -30,8 +34,9 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+from typing import Optional, Union
 
+from repro.obs import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.ops.events import OpsEvent
 from repro.serve.gateway import ServeGateway
 from repro.serve.sources import decode_event
@@ -95,10 +100,16 @@ class StatusServer:
             status, doc = await self._route(
                 method, path, reader, content_length
             )
-            body = json.dumps(doc, sort_keys=True).encode("utf-8")
+            if isinstance(doc, str):
+                # plain-text route (the Prometheus exposition)
+                body = doc.encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                body = json.dumps(doc, sort_keys=True).encode("utf-8")
+                content_type = "application/json"
             writer.write(
                 f"HTTP/1.1 {status}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n"
                 "\r\n".encode("latin-1")
@@ -122,11 +133,12 @@ class StatusServer:
         path: str,
         reader: asyncio.StreamReader,
         content_length: int,
-    ) -> tuple[str, dict[str, object]]:
+    ) -> tuple[str, Union[dict[str, object], str]]:
         routes = {
             "/": "GET",
             "/report": "GET",
             "/health": "GET",
+            "/metrics": "GET",
             "/events": "POST",
         }
         allowed = routes.get(path)
@@ -140,6 +152,8 @@ class StatusServer:
             return await self._post_events(reader, content_length)
         if path == "/health":
             return "200 OK", self.gateway.health_doc()
+        if path == "/metrics":
+            return "200 OK", render_prometheus(self.gateway.obs.registry)
         return "200 OK", self.gateway.snapshot()
 
     async def _post_events(

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.placement import PlacedSegment, Placement
 from repro.core.service import Service
+from repro.obs import ObsHub
 from repro.parallel import FaultInjector, ShardPool, partition
 from repro.sim.arrivals import poisson_arrivals, uniform_arrivals
 from repro.sim.fastpath import (
@@ -131,14 +132,17 @@ class ShardContext:
         workers: int,
         fault_injector: Optional["FaultInjector"] = None,
         job_timeout_s: Optional[float] = None,
+        obs: Optional[ObsHub] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.obs = obs if obs is not None else ObsHub(enabled=False)
         self.pool = ShardPool(
             workers,
             fault_injector=fault_injector,
             job_timeout_s=job_timeout_s,
+            obs=self.obs,
         )
         self.memo: dict[tuple, tuple] = {}
         self.memo_hits = 0
@@ -319,14 +323,23 @@ def _simulate_sharded(
             jobs.append(
                 _pack_job(block, arrivals, duration_s, warmup_s, until)
             )
-        rows_per_shard = ctx.pool.run(_run_shard, jobs)
-        cursor = 0
-        for rows in rows_per_shard:
-            for row in rows:
-                # Plain floats: float64 round-trips exactly, and report
-                # fields must not silently become numpy scalars.
-                results[miss_idx[cursor]] = tuple(float(x) for x in row)
-                cursor += 1
+        with ctx.obs.span(
+            "scatter", cat="shard",
+            shards=len(jobs), segments=len(miss_idx),
+            memo_hits=len(runs) - len(miss_idx),
+        ):
+            rows_per_shard = ctx.pool.run(_run_shard, jobs)
+        with ctx.obs.span("gather", cat="shard", shards=len(jobs)):
+            cursor = 0
+            for rows in rows_per_shard:
+                for row in rows:
+                    # Plain floats: float64 round-trips exactly, and
+                    # report fields must not silently become numpy
+                    # scalars.
+                    results[miss_idx[cursor]] = tuple(
+                        float(x) for x in row
+                    )
+                    cursor += 1
 
     steps = 0
     for i, (key, seg, slo_ms, _times) in enumerate(runs):

@@ -400,6 +400,53 @@ class TestD007:
 
 
 # --------------------------------------------------------------------- #
+# D008 - bare dict counters outside the obs facade
+# --------------------------------------------------------------------- #
+
+
+class TestD008:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "self.counters['intervals'] += 1\n",
+            "metrics['replans'] += 1\n",
+            "self.metric_totals[kind] += n\n",
+            "step_counters[path] -= 1\n",
+        ],
+    )
+    def test_triggers(self, snippet):
+        assert codes(snippet) == ["D008"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            # a plain-attribute stats object is the attach() idiom
+            "self.health.steps += 1\n",
+            # non-metric-named mappings stay out of scope
+            "totals['x'] += 1\n",
+            "self.pending[key] += 1\n",
+            # assignment (not accumulation) into a metric store is how
+            # the registry itself snapshots — never flagged
+            "counters['x'] = 1\n",
+            # reading a counter is fine
+            "n = self.counters['x']\n",
+        ],
+    )
+    def test_near_misses(self, snippet):
+        assert codes(snippet) == []
+
+    def test_only_fires_in_identity_modules(self):
+        assert codes("metrics['x'] += 1\n", PLAIN) == []
+
+    def test_disable_with_reason(self):
+        src = (
+            "metrics['x'] += 1  "
+            f"{disable('D008', 'scratch dict in a local analysis pass')}\n"
+        )
+        assert codes(src) == []
+
+
+# --------------------------------------------------------------------- #
 # Cross-cutting: disables, parsing, multiple findings
 # --------------------------------------------------------------------- #
 

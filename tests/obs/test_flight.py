@@ -1,0 +1,148 @@
+"""The flight recorder: ring bound, dump triggers, crash breadcrumbs.
+
+Dumps must fire automatically on the three degradation signals the
+control plane defines — checkpoint failure, gateway safe-mode entry,
+and shard-pool degradation — and the recorder itself must never turn a
+degradation into a crash.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.service import Service
+from repro.obs import FlightRecorder, ObsHub, Span
+from repro.ops import CheckpointError, FleetController
+from repro.parallel import ShardPool
+from repro.serve import ServeGateway, VirtualClock
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        fl = FlightRecorder(capacity=3)
+        for i in range(10):
+            fl.note("decision", step=i)
+        assert len(fl) == 3
+        assert [e["step"] for e in fl.entries()] == [7, 8, 9]
+
+    def test_spans_enter_via_sink(self):
+        fl = FlightRecorder()
+        fl.add_span(Span(0, "interval", "interval", 1.0, 1.0, -1))
+        (entry,) = fl.entries()
+        assert entry["kind"] == "span"
+        assert entry["name"] == "interval"
+
+    def test_dump_document_shape(self, tmp_path):
+        fl = FlightRecorder()
+        fl.note("decision", t_s=4.0, path="full")
+        out = tmp_path / "flight.json"
+        doc = fl.dump("safe-mode", out)
+        assert doc["format"] == "parvagpu-flight"
+        assert doc["reason"] == "safe-mode"
+        assert doc["entries"] == [
+            {"kind": "decision", "t_s": 4.0, "path": "full"}
+        ]
+        assert fl.last_dump_path == str(out)
+        assert json.loads(out.read_text()) == doc
+
+    def test_dump_write_failure_is_swallowed(self, tmp_path):
+        fl = FlightRecorder()
+        fl.note("decision")
+        doc = fl.dump("x", tmp_path / "missing" / "flight.json")
+        assert doc is not None  # the in-memory dump still happened
+        assert fl.last_dump_path is None
+
+    def test_disabled_recorder_is_inert(self):
+        fl = FlightRecorder(enabled=False)
+        fl.note("decision")
+        assert len(fl) == 0
+        assert fl.dump("x") is None
+
+    def test_hub_dump_counts_by_reason(self):
+        hub = ObsHub()
+        hub.note("decision")
+        hub.dump_flight("safe-mode")
+        hub.dump_flight("safe-mode")
+        c = hub.counter(
+            "obs_flight_dumps_total", labelnames=("reason",)
+        )
+        assert c.value(reason="safe-mode") == 2.0
+
+
+@pytest.fixture
+def services():
+    return [
+        Service("a", "resnet-50", slo_latency_ms=250, request_rate=2000),
+        Service("b", "mobilenetv2", slo_latency_ms=150, request_rate=4000),
+    ]
+
+
+async def _dying_source():
+    raise ConnectionError("stream gone")
+    yield  # pragma: no cover — makes this an async generator
+
+
+class TestSafeModeDump:
+    def test_gateway_safe_mode_dumps_flight(self, services):
+        gateway = ServeGateway(
+            FleetController(), services, 100.0, VirtualClock()
+        )
+        asyncio.run(gateway.run(_dying_source()))
+        assert gateway.health.safe_mode
+        assert gateway.obs.flight.dumps == 1
+        dump = gateway.obs.flight.last_dump
+        assert dump["reason"] == "safe-mode"
+        kinds = {e["kind"] for e in dump["entries"]}
+        assert "safe-mode" in kinds
+
+
+class TestCheckpointErrorDump:
+    def test_unwritable_checkpoint_dumps_flight(self, services, tmp_path):
+        ctrl = FleetController()
+        bad = tmp_path / "no-such-dir" / "ops.ckpt"
+        with pytest.raises((CheckpointError, OSError)):
+            ctrl.run(
+                services, [], 50.0,
+                checkpoint_path=bad, checkpoint_every=1,
+            )
+        assert ctrl.obs.flight.dumps >= 1
+        assert ctrl.obs.flight.last_dump["reason"] == "checkpoint-error"
+
+    def test_crash_checkpoint_references_last_dump(self, services):
+        ctrl = FleetController()
+        ctrl.begin(services, 50.0)
+        ctrl.step(10.0, [])
+        doc = ctrl.checkpoint()
+        # no dump happened: the breadcrumb is present but empty
+        assert doc["flight_dump"] is None
+        ctrl.finish()
+
+
+class _AlwaysCrash:
+    def before(self, batch, attempt, index, in_worker):
+        if in_worker:
+            import os
+
+            os._exit(43)
+
+
+# must be module-level to pickle into workers
+def _square(x):
+    return x * x
+
+
+class TestDegradationDump:
+    def test_shard_degradation_dumps_flight(self):
+        hub = ObsHub()
+        with ShardPool(
+            2, fault_injector=_AlwaysCrash(), max_attempts=1,
+            backoff_s=0.0, obs=hub,
+        ) as pool:
+            assert pool.run(_square, [1, 2, 3]) == [1, 4, 9]
+        assert pool.health.degradations >= 1
+        assert hub.flight.dumps >= 1
+        assert hub.flight.last_dump["reason"] == "shard-degradation"
+        kinds = {e["kind"] for e in hub.flight.last_dump["entries"]}
+        assert "shard-degradation" in kinds
+        assert "worker-crash" in kinds
